@@ -1,0 +1,65 @@
+// Ablation: network-latency surges.
+//
+// The paper's abstract scopes SurgeGuard to "surges in load and network
+// latency". This bench injects the second disruption class: periodic
+// windows during which every packet pays a large extra delay (a congested
+// ToR, a failing link). FirstResponder's per-packet slack (eq. 4) counts
+// lateness from ANY cause, so it detects these windows just as fast as load
+// surges, and the frequency boost compensates the compute share of the
+// end-to-end budget while the disruption lasts.
+#include "bench_common.hpp"
+
+using namespace sg;
+using namespace sg::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  auto csv = open_csv(args, "ablation_netlatency");
+  if (csv) {
+    csv->cell("extra_delay_us").cell("controller").cell("vv_ms_s")
+        .cell("p98_ms").cell("fr_boosts");
+    csv->end_row();
+  }
+
+  const WorkloadInfo w = make_chain();
+  const ProfileResult profile = profile_workload(w, 1);
+
+  for (SimTime extra : {100 * kMicrosecond, 300 * kMicrosecond}) {
+    print_banner("network-latency surges: +" + format_time(extra) +
+                 " per hop, 1s windows every 10s (no load surge)");
+    TablePrinter table({"controller", "VV (ms*s)", "p98 (ms)", "FR boosts"});
+    for (ControllerKind kind :
+         {ControllerKind::kStatic, ControllerKind::kParties,
+          ControllerKind::kSurgeGuard}) {
+      ExperimentConfig cfg;
+      cfg.workload = w;
+      cfg.controller = kind;
+      cfg.surge_len = 0;  // NO load surge: the disruption is latency only
+      cfg.net_delay_extra = extra;
+      cfg.net_delay_len = 1 * kSecond;
+      cfg.net_delay_period = 10 * kSecond;
+      args.apply_timing(cfg);
+      cfg.seed = args.seed;
+      const ExperimentResult r = run_experiment(cfg, profile);
+      table.add_row({to_string(kind),
+                     fmt_double(r.load.violation_volume_ms_s, 2),
+                     fmt_double(to_millis(r.load.p98), 2),
+                     std::to_string(r.fr_boosts)});
+      if (csv) {
+        csv->cell(static_cast<long long>(extra / kMicrosecond))
+            .cell(to_string(kind)).cell(r.load.violation_volume_ms_s)
+            .cell(to_millis(r.load.p98))
+            .cell(static_cast<long long>(r.fr_boosts));
+        csv->end_row();
+      }
+    }
+    table.print();
+  }
+  std::printf(
+      "\nExpected shape: network delay cannot be removed by any CPU\n"
+      "controller — but SurgeGuard's per-packet slack detects the window\n"
+      "within one request and the frequency boost claws back the compute\n"
+      "share of the latency budget, so its violation volume sits below the\n"
+      "baselines (which either never react or react after the window ends).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Shared plumbing for the figure/table benches.
+//
+// Every bench binary reproduces one table or figure of the paper: it runs
+// the corresponding experiment grid, prints the same rows/series the paper
+// reports (normalized to Parties where the paper normalizes), and with
+// --csv writes raw data under bench_out/ for replotting.
+//
+// Common flags:
+//   --reps N     replications per cell (default 3; paper used 17)
+//   --quick      1 replication, shortened measurement (smoke-test mode)
+//   --full       17 replications, paper-length measurement windows
+//   --csv        also write CSV files under bench_out/
+//   --seed N     base seed
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <sys/stat.h>
+
+#include "common/csv.hpp"
+#include "core/experiment.hpp"
+#include "core/reporting.hpp"
+#include "common/stats.hpp"
+#include "core/sweep.hpp"
+
+namespace sg::bench {
+
+struct BenchArgs {
+  int reps = 3;
+  bool quick = false;
+  bool full = false;
+  bool csv = false;
+  std::uint64_t seed = 1;
+  SimTime duration = 30 * kSecond;
+  SimTime warmup = 5 * kSecond;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+        a.reps = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        a.quick = true;
+        a.reps = 1;
+        a.duration = 12 * kSecond;
+        a.warmup = 3 * kSecond;
+      } else if (std::strcmp(argv[i], "--full") == 0) {
+        a.full = true;
+        a.reps = 17;
+        a.duration = 60 * kSecond;
+        a.warmup = 30 * kSecond;
+      } else if (std::strcmp(argv[i], "--csv") == 0) {
+        a.csv = true;
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        a.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf(
+            "flags: --reps N | --quick | --full | --csv | --seed N\n");
+        std::exit(0);
+      }
+    }
+    return a;
+  }
+
+  SweepOptions sweep() const {
+    SweepOptions s;
+    s.replications = reps;
+    s.trim = reps >= 5 ? 1 : 0;
+    s.threads = 1;  // deterministic-order, single-core friendly
+    s.seed0 = seed;
+    return s;
+  }
+
+  void apply_timing(ExperimentConfig& cfg) const {
+    cfg.duration = duration;
+    cfg.warmup = warmup;
+  }
+};
+
+/// Opens bench_out/<name>.csv (creating the directory), or returns nullptr
+/// when --csv was not passed.
+inline std::unique_ptr<CsvWriter> open_csv(const BenchArgs& args,
+                                           const std::string& name) {
+  if (!args.csv) return nullptr;
+  ::mkdir("bench_out", 0755);
+  auto w = std::make_unique<CsvWriter>("bench_out/" + name + ".csv");
+  if (!w->ok()) {
+    std::fprintf(stderr, "warning: cannot write bench_out/%s.csv\n",
+                 name.c_str());
+    return nullptr;
+  }
+  return w;
+}
+
+/// Short display label for a workload (the paper's abbreviations).
+inline std::string short_name(const WorkloadInfo& w) {
+  if (w.action == "chain") return "CHAIN";
+  if (w.action == "readUserTimeline") return "read";
+  if (w.action == "composePost") return "compose";
+  if (w.action == "searchHotel") return "search";
+  if (w.action == "recommendHotel") return "reco";
+  return w.action;
+}
+
+}  // namespace sg::bench

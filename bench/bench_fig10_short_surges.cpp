@@ -1,0 +1,77 @@
+// Fig. 10: managing short surges with FirstResponder.
+//
+// CHAIN under 100us and 2ms surges whose instantaneous rate is 20x the base
+// rate, comparing Escalator alone vs the full SurgeGuard
+// (Escalator + FirstResponder). The paper: FirstResponder cuts the
+// violation volume of such micro-surges by ~98% (100us) and ~88% (2ms), and
+// its relative benefit shrinks as surges lengthen (Escalator's averaged
+// metrics eventually see long surges on their own).
+#include "bench_common.hpp"
+
+using namespace sg;
+using namespace sg::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  print_banner("Fig. 10 - short surges: Escalator vs Escalator+FirstResponder");
+
+  const WorkloadInfo w = make_chain();
+  const ProfileResult profile = profile_workload(w, 1);
+
+  auto csv = open_csv(args, "fig10_short_surges");
+  if (csv) {
+    csv->cell("surge_len_us").cell("controller").cell("vv_ms_s")
+        .cell("p98_ms").cell("max_ms").cell("fr_boosts");
+    csv->end_row();
+  }
+
+  TablePrinter table({"surge len", "controller", "VV (ms*s)", "p98 (ms)",
+                      "max latency (ms)", "FR boosts", "VV reduction"});
+  for (SimTime surge_len : {100 * kMicrosecond, 2 * kMillisecond}) {
+    double vv[2] = {0, 0};
+    int idx = 0;
+    for (ControllerKind kind :
+         {ControllerKind::kEscalator, ControllerKind::kSurgeGuard}) {
+      ExperimentConfig cfg;
+      cfg.workload = w;
+      cfg.controller = kind;
+      // 20x instantaneous rate, one micro-surge per second.
+      cfg.pattern_override = SpikePattern::surges(
+          w.base_rate_rps, 20.0, surge_len, 1 * kSecond, 3 * kSecond);
+      cfg.warmup = 2 * kSecond;
+      cfg.duration = args.quick ? 6 * kSecond : 15 * kSecond;
+      cfg.vv_window = 1 * kMillisecond;  // micro-surge resolution
+      cfg.seed = args.seed;
+
+      RepStats stats;
+      ExperimentResult one;  // for FR counters / latency series
+      {
+        ExperimentConfig c2 = cfg;
+        one = run_experiment(c2, profile);
+        stats = run_replicated(cfg, profile, args.sweep());
+      }
+      vv[idx++] = stats.vv;
+      table.add_row({format_time(surge_len), to_string(kind),
+                     fmt_double(stats.vv, 3), fmt_double(stats.p98, 2),
+                     fmt_double(to_millis(one.load.max_latency), 2),
+                     std::to_string(one.fr_boosts),
+                     idx == 2 && vv[0] > 0
+                         ? fmt_double(100.0 * (1.0 - vv[1] / vv[0]), 1) + "%"
+                         : "-"});
+      if (csv) {
+        csv->cell(static_cast<long long>(surge_len / kMicrosecond))
+            .cell(to_string(kind)).cell(stats.vv).cell(stats.p98)
+            .cell(to_millis(one.load.max_latency))
+            .cell(static_cast<long long>(one.fr_boosts));
+        csv->end_row();
+      }
+    }
+  }
+  table.print();
+  std::printf(
+      "\nPaper shape: Escalator alone cannot see surges much shorter than\n"
+      "its averaging window; FirstResponder's per-packet slack detection\n"
+      "boosts frequency within microseconds, cutting VV ~98%% at 100us and\n"
+      "~88%% at 2ms — a benefit that shrinks as surges lengthen.\n");
+  return 0;
+}

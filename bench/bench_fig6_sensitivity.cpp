@@ -1,0 +1,76 @@
+// Fig. 6: execution time vs allocated cores (sensitivity curves).
+//
+// The paper plots two socialNetwork services: post-storage (steep curve —
+// upscaling it buys a lot) and user-timeline near its downscale threshold
+// (flat curve — it hogs cores for no benefit). This bench sweeps core
+// allocations for the readUserTimeline services under steady base load and
+// prints each service's measured curve plus the derived sens[] values.
+#include "bench_common.hpp"
+
+using namespace sg;
+using namespace sg::bench;
+
+namespace {
+
+// Measured mean execMetric of `service` when it runs with `cores`.
+double exec_at_cores(const WorkloadInfo& w, int service, int cores,
+                     const BenchArgs& args) {
+  // A static run with one service's allocation overridden. Measured at
+  // 1.4x the base rate — the loaded regime where Fig. 6's gradient lives
+  // (at the calm base point the curve is flat beyond the demand).
+  WorkloadInfo mod = w;
+  mod.initial_cores[static_cast<std::size_t>(service)] = cores;
+  WorkloadInfo scaled = mod;
+  scaled.base_rate_rps = mod.base_rate_rps * 14.0;
+  const ProfileResult p = profile_workload(scaled, 1, 2.0, args.seed);
+  // Targets store 2x the measured execMetric.
+  return p.targets.of(service).expected_exec_metric_ns / 2.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  print_banner("Fig. 6 - sensitivity curves (readUserTimeline, 1.4x load)");
+
+  const WorkloadInfo w = make_social_read_user_timeline();
+  // The two services the paper plots.
+  const int post_storage = 3;   // steep: bottleneck tier
+  const int user_timeline = 1;  // flattens once past its demand
+
+  auto csv = open_csv(args, "fig6_sensitivity");
+  if (csv) {
+    csv->cell("service").cell("cores").cell("exec_metric_us").cell("sens");
+    csv->end_row();
+  }
+
+  for (int svc : {post_storage, user_timeline}) {
+    const std::string name = w.spec.services[static_cast<std::size_t>(svc)].name;
+    std::printf("\n%s:\n", name.c_str());
+    TablePrinter table({"cores", "execMetric (us)", "sens[cores]"});
+    std::vector<double> exec;
+    const int max_cores = 7;
+    for (int c = 1; c <= max_cores; ++c) {
+      exec.push_back(exec_at_cores(w, svc, c, args));
+    }
+    for (int c = 1; c <= max_cores; ++c) {
+      const std::size_t i = static_cast<std::size_t>(c - 1);
+      // sens[c] = 1 - exec[c+1]/exec[c] (paper III-C).
+      const std::string sens =
+          c < max_cores ? fmt_double(1.0 - exec[i + 1] / exec[i], 3) : "-";
+      table.add_row({std::to_string(c), fmt_double(exec[i] / 1000.0, 1), sens});
+      if (csv) {
+        csv->cell(name).cell(c).cell(exec[i] / 1000.0)
+            .cell(c < max_cores ? 1.0 - exec[i + 1] / exec[i] : 0.0);
+        csv->end_row();
+      }
+    }
+    table.print();
+  }
+  std::printf(
+      "\nPaper shape: both curves drop steeply until the service's demand is\n"
+      "covered, then flatten; sens[] falls below the 0.02 revocation\n"
+      "threshold exactly where extra cores stop buying latency — which is\n"
+      "what lets Escalator reclaim hogged cores (Fig. 6 right).\n");
+  return 0;
+}

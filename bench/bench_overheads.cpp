@@ -1,0 +1,175 @@
+// §VI-D overheads: real wall-clock microbenchmarks (google-benchmark) of
+// the code that sits on hot paths.
+//
+// The paper reports: 0.26us per packet for FirstResponder's critical-path
+// slack check, 0.44us to enqueue a work item toward the worker thread, and
+// 2.1us for the off-path MSR write. The simulated counterparts here are the
+// per-packet hook invocation, event scheduling, and the frequency update;
+// this bench verifies the simulator's own hot paths are cheap enough that
+// the figure benches measure controller behaviour, not harness overhead.
+#include <benchmark/benchmark.h>
+
+#include "controllers/first_responder.hpp"
+#include "controllers/surgeguard.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "workload/load_generator.hpp"
+
+namespace sg {
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueue q;
+  SimTime t = 0;
+  for (auto _ : state) {
+    q.push(++t, []() {});
+    benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  Simulator sim;
+  for (auto _ : state) {
+    sim.schedule_after(10, []() {});
+    sim.step();
+  }
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_ContainerSubmitComplete(benchmark::State& state) {
+  Simulator sim;
+  Container::Params params;
+  params.name = "bench";
+  params.initial_cores = 4;
+  Container c(sim, std::move(params));
+  for (auto _ : state) {
+    c.submit(100.0, []() {});
+    sim.step();
+  }
+}
+BENCHMARK(BM_ContainerSubmitComplete);
+
+void BM_ContainerPsWithBacklog(benchmark::State& state) {
+  // Completion cost with many concurrent jobs (the surge regime).
+  Simulator sim;
+  Container::Params params;
+  params.name = "bench";
+  params.initial_cores = 4;
+  Container c(sim, std::move(params));
+  const int backlog = static_cast<int>(state.range(0));
+  for (int i = 0; i < backlog; ++i) c.submit(1e15, []() {});
+  for (auto _ : state) {
+    c.submit(100.0, []() {});
+    sim.step();
+  }
+}
+BENCHMARK(BM_ContainerPsWithBacklog)->Arg(8)->Arg(64)->Arg(512);
+
+struct HookFixture {
+  Simulator sim{1};
+  Cluster cluster{sim};
+  Network network{sim};
+  MetricsPlane metrics{1};
+  std::unique_ptr<Application> app;
+  std::unique_ptr<FirstResponder> fr;
+
+  HookFixture() {
+    cluster.add_node(64, 19);
+    AppSpec spec;
+    spec.name = "hook";
+    ServiceSpec a;
+    a.name = "a";
+    a.children = {1};
+    ServiceSpec b;
+    b.name = "b";
+    spec.services = {a, b};
+    app = std::make_unique<Application>(cluster, network, metrics, spec,
+                                        Deployment::single_node(spec, 0, 2));
+    ControllerEnv env;
+    env.sim = &sim;
+    env.cluster = &cluster;
+    env.node = &cluster.node(0);
+    env.bus = &metrics.node_bus(0);
+    env.app = app.get();
+    env.topology = app->topology();
+    ContainerTargets t;
+    t.expected_exec_metric_ns = 1e6;
+    t.expected_time_from_start = 1 * kMillisecond;
+    env.targets.per_container[app->entry_container()] = t;
+    env.targets.expected_e2e_latency = 1 * kMillisecond;
+    fr = std::make_unique<FirstResponder>(std::move(env), network);
+    fr->start();
+  }
+};
+
+void BM_FirstResponderSlackCheck(benchmark::State& state) {
+  // The per-packet critical-path cost (paper: 0.26us on their kernel path).
+  HookFixture fx;
+  RpcPacket pkt;
+  pkt.dst_container = fx.app->entry_container();
+  pkt.dst_node = 0;
+  pkt.start_time = 0;  // slack positive: pure check, no boost
+  for (auto _ : state) {
+    fx.fr->on_packet(pkt);
+  }
+  benchmark::DoNotOptimize(fx.fr->packets_inspected());
+}
+BENCHMARK(BM_FirstResponderSlackCheck);
+
+void BM_FirstResponderViolationPath(benchmark::State& state) {
+  // Detection + work-item handoff (boost event scheduling).
+  HookFixture fx;
+  RpcPacket pkt;
+  pkt.dst_container = fx.app->entry_container();
+  pkt.dst_node = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Make the packet violating and un-freeze the path.
+    fx.sim.run_until(fx.sim.now() + 10 * kMillisecond);
+    pkt.start_time = fx.sim.now() - 100 * kMillisecond;
+    state.ResumeTiming();
+    fx.fr->on_packet(pkt);
+  }
+}
+BENCHMARK(BM_FirstResponderViolationPath);
+
+void BM_SimulatedSecondThroughput(benchmark::State& state) {
+  // Events per wall-second for a realistic full testbed: the number that
+  // bounds every figure bench's wall-clock time.
+  for (auto _ : state) {
+    Simulator sim(7);
+    Cluster cluster(sim);
+    cluster.add_node(64, 19);
+    Network network(sim);
+    MetricsPlane metrics(1);
+    AppSpec spec;
+    spec.name = "tput";
+    ServiceSpec a;
+    a.name = "a";
+    a.work_ns_mean = 100'000;
+    a.children = {1};
+    ServiceSpec b;
+    b.name = "b";
+    b.work_ns_mean = 100'000;
+    spec.services = {a, b};
+    Application app(cluster, network, metrics, spec,
+                    Deployment::single_node(spec, 0, 4));
+    LoadGenOptions opts;
+    opts.pattern = SpikePattern::steady(5000);
+    opts.qos = 10 * kMillisecond;
+    opts.warmup = 0;
+    opts.duration = 1 * kSecond;
+    LoadGenerator gen(sim, network, app, opts);
+    gen.start();
+    sim.run_until(1 * kSecond);
+    state.counters["events_per_sim_s"] =
+        static_cast<double>(sim.events_processed());
+  }
+}
+BENCHMARK(BM_SimulatedSecondThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Methodology example: finding the knee of the load-latency curve.
+//
+// The paper's artifact sets each experiment's base rate "slightly below the
+// knee of the load latency curve achieved using our initial allocations".
+// This example reproduces that methodology: sweep the request rate on a
+// static allocation, print the latency curve, and report where the knee
+// lands relative to the catalog's calibrated base rate.
+//
+//   ./build/examples/load_latency_curve [workload]
+#include <cstdio>
+#include <string>
+
+#include "common/csv.hpp"
+#include "core/experiment.hpp"
+#include "core/reporting.hpp"
+
+using namespace sg;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "chain";
+  const WorkloadInfo w = workload_by_name(name);
+  const ProfileResult profile = profile_workload(w, 1);
+
+  print_banner("load-latency curve: " + w.spec.name +
+               " (static initial allocation)");
+  TablePrinter table({"rate (rps)", "fraction of base", "mean (ms)",
+                      "p98 (ms)", "p98 / low-load"});
+  const double low_p98 = to_millis(profile.low_load_p98);
+
+  double knee_rate = 0.0;
+  for (double frac : {0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.2, 1.35, 1.5}) {
+    ExperimentConfig cfg;
+    cfg.workload = w;
+    cfg.controller = ControllerKind::kStatic;
+    cfg.pattern_override =
+        SpikePattern::steady(w.base_rate_rps * frac);
+    cfg.warmup = 2 * kSecond;
+    cfg.duration = 6 * kSecond;
+    cfg.seed = 17;
+    const ExperimentResult r = run_experiment(cfg, profile);
+    const double p98_ms = to_millis(r.load.p98);
+    const double blowup = low_p98 > 0 ? p98_ms / low_p98 : 0.0;
+    table.add_row({fmt_double(w.base_rate_rps * frac, 0), fmt_double(frac, 2),
+                   fmt_double(r.load.mean_latency_ns / 1e6, 2),
+                   fmt_double(p98_ms, 2), fmt_ratio(blowup, 2)});
+    // First rate where p98 exceeds 2x the low-load tail: past the knee.
+    if (knee_rate == 0.0 && blowup > 2.0) {
+      knee_rate = w.base_rate_rps * frac;
+    }
+  }
+  table.print();
+
+  if (knee_rate > 0.0) {
+    std::printf(
+        "\nknee (p98 > 2x low-load tail) near %.0f rps; catalog base rate "
+        "%.0f rps sits at %.0f%% of it — \"slightly below the knee\", as the "
+        "artifact prescribes.\n",
+        knee_rate, w.base_rate_rps, 100.0 * w.base_rate_rps / knee_rate);
+  } else {
+    std::printf("\nno knee within the swept range (allocation has headroom "
+                "beyond 1.5x base).\n");
+  }
+  return 0;
+}

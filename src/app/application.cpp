@@ -1,0 +1,322 @@
+#include "app/application.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace sg {
+
+std::vector<int> AppTopology::downstream_on_node(int container, int node,
+                                                 const Cluster& cluster) const {
+  std::vector<int> out;
+  std::vector<int> frontier{container};
+  std::vector<int> seen;
+  while (!frontier.empty()) {
+    const int u = frontier.back();
+    frontier.pop_back();
+    const auto it = downstream.find(u);
+    if (it == downstream.end()) continue;
+    for (int v : it->second) {
+      if (std::find(seen.begin(), seen.end(), v) != seen.end()) continue;
+      seen.push_back(v);
+      frontier.push_back(v);
+      if (cluster.container(v).node() == node) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Deployment Deployment::single_node(const AppSpec& spec, NodeId node,
+                                   int cores_per_service) {
+  Deployment d;
+  d.node_of_service.assign(spec.services.size(), node);
+  d.initial_cores.assign(spec.services.size(), cores_per_service);
+  return d;
+}
+
+Deployment Deployment::round_robin(const AppSpec& spec, int node_count,
+                                   int cores_per_service) {
+  Deployment d;
+  d.node_of_service.resize(spec.services.size());
+  for (std::size_t i = 0; i < spec.services.size(); ++i)
+    d.node_of_service[i] = static_cast<NodeId>(i % static_cast<std::size_t>(node_count));
+  d.initial_cores.assign(spec.services.size(), cores_per_service);
+  return d;
+}
+
+Application::Application(Cluster& cluster, Network& network,
+                         MetricsPlane& metrics, AppSpec spec,
+                         const Deployment& deployment)
+    : Application(cluster, network, metrics, std::move(spec), deployment,
+                  Options()) {}
+
+Application::Application(Cluster& cluster, Network& network,
+                         MetricsPlane& metrics, AppSpec spec,
+                         const Deployment& deployment, Options options)
+    : cluster_(cluster),
+      network_(network),
+      metrics_plane_(metrics),
+      spec_(std::move(spec)),
+      options_(options),
+      rng_(cluster.sim().rng().fork()) {
+  std::string error;
+  SG_ASSERT_MSG(spec_.validate(&error), error.c_str());
+  SG_ASSERT(deployment.node_of_service.size() == spec_.services.size());
+  SG_ASSERT(deployment.initial_cores.size() == spec_.services.size());
+
+  services_.reserve(spec_.services.size());
+  for (std::size_t i = 0; i < spec_.services.size(); ++i) {
+    const ServiceSpec& ss = spec_.services[i];
+    Container& c = cluster_.add_container(
+        spec_.name + "/" + ss.name, deployment.node_of_service[i],
+        deployment.initial_cores[i]);
+    ServiceRuntime sr;
+    sr.spec = &spec_.services[i];
+    sr.index = static_cast<int>(i);
+    sr.container = &c;
+    sr.metrics = ContainerRuntimeMetrics(c.id());
+    for (std::size_t k = 0; k < ss.children.size(); ++k) {
+      int cap;
+      if (!spec_.pool_sizes.empty()) {
+        cap = spec_.pool_sizes[i][k];
+      } else if (spec_.threading == ThreadingModel::kFixedThreadPool) {
+        cap = spec_.threadpool_size;
+      } else {
+        cap = -1;
+      }
+      sr.child_pools.push_back(std::make_unique<ConnectionPool>(cap));
+    }
+    services_.push_back(std::move(sr));
+    service_by_container_.emplace(c.id(), static_cast<int>(i));
+    network_.register_receiver(c.id(),
+                               [this](const RpcPacket& pkt) { on_packet(pkt); });
+  }
+}
+
+void Application::start_metric_publication() {
+  for (ServiceRuntime& sr : services_) {
+    ServiceRuntime* srp = &sr;
+    cluster_.sim().schedule_periodic(
+        options_.metrics_interval, options_.metrics_interval, [this, srp]() {
+          const MetricsSnapshot snap =
+              srp->metrics.flush(cluster_.sim().now());
+          metrics_plane_.node_bus(srp->container->node()).publish(snap);
+          return true;  // publish for the lifetime of the simulation
+        });
+  }
+}
+
+void Application::set_upscale_stamp(ContainerId container, int stamp) {
+  runtime_of_container(container).upscale_stamp = std::max(0, stamp);
+}
+
+const ContainerRuntimeMetrics& Application::runtime_metrics(
+    ContainerId container) const {
+  const auto it = service_by_container_.find(container);
+  SG_ASSERT_MSG(it != service_by_container_.end(), "unknown container");
+  return services_[static_cast<std::size_t>(it->second)].metrics;
+}
+
+const ConnectionPool& Application::edge_pool(int service, int child_idx) const {
+  return *services_[static_cast<std::size_t>(service)]
+              .child_pools[static_cast<std::size_t>(child_idx)];
+}
+
+AppTopology Application::topology() const {
+  AppTopology topo;
+  topo.entry = services_.front().container->id();
+  for (const ServiceRuntime& sr : services_) {
+    std::vector<int> kids;
+    kids.reserve(sr.spec->children.size());
+    for (int child : sr.spec->children)
+      kids.push_back(services_[static_cast<std::size_t>(child)].container->id());
+    topo.downstream.emplace(sr.container->id(), std::move(kids));
+  }
+  return topo;
+}
+
+Application::ServiceRuntime& Application::runtime_of_container(int container) {
+  const auto it = service_by_container_.find(container);
+  SG_ASSERT_MSG(it != service_by_container_.end(), "unknown container");
+  return services_[static_cast<std::size_t>(it->second)];
+}
+
+int Application::outgoing_upscale(const ServiceRuntime& sr,
+                                  const Visit& v) const {
+  // Fig. 8: a hint set here (upscale_stamp) or arriving from upstream
+  // (arrived_upscale, decremented per hop) is forwarded downstream.
+  return std::max({sr.upscale_stamp, v.arrived_upscale - 1, 0});
+}
+
+void Application::on_packet(const RpcPacket& pkt) {
+  if (pkt.is_response) {
+    on_response(pkt);
+  } else {
+    on_request(pkt);
+  }
+}
+
+void Application::on_request(const RpcPacket& pkt) {
+  ServiceRuntime& sr = runtime_of_container(pkt.dst_container);
+  const SimTime now = cluster_.sim().now();
+
+  const std::uint64_t key = next_visit_key_++;
+  Visit v;
+  v.request_id = pkt.request_id;
+  v.service = sr.index;
+  v.start_time = pkt.start_time;
+  v.arrive = now;
+  v.time_from_start = now - pkt.start_time;
+  v.arrived_upscale = pkt.upscale;
+  v.reply_to = ReplyAddress{pkt.src_container, pkt.src_node, pkt.call_id};
+  visits_.emplace(key, v);
+  if (sr.index == 0) ++in_flight_;
+
+  const double work = sr.spec->work_ns_mean <= 0.0
+                          ? 0.0
+                          : (sr.spec->work_sigma > 0.0
+                                 ? rng_.lognormal_mean(sr.spec->work_ns_mean,
+                                                       sr.spec->work_sigma)
+                                 : sr.spec->work_ns_mean);
+  sr.container->submit(work, [this, key]() { on_own_work_done(key); });
+}
+
+void Application::on_own_work_done(std::uint64_t key) {
+  auto it = visits_.find(key);
+  SG_ASSERT(it != visits_.end());
+  Visit& v = it->second;
+  const ServiceSpec& spec = *services_[static_cast<std::size_t>(v.service)].spec;
+  if (spec.children.empty()) {
+    finish_children(key);
+    return;
+  }
+  if (spec.fanout == FanoutMode::kParallel) {
+    v.pending_children = static_cast<int>(spec.children.size());
+    // begin_child may resume synchronously and mutate visits_, so iterate
+    // over a stable count, re-finding nothing (key-based API).
+    const std::size_t n = spec.children.size();
+    for (std::size_t i = 0; i < n; ++i) begin_child(key, i);
+  } else {
+    v.next_child = 0;
+    begin_child(key, 0);
+  }
+}
+
+void Application::begin_child(std::uint64_t key, std::size_t child_idx) {
+  auto it = visits_.find(key);
+  SG_ASSERT(it != visits_.end());
+  ServiceRuntime& sr = services_[static_cast<std::size_t>(it->second.service)];
+  ConnectionPool& pool = *sr.child_pools[child_idx];
+  const SimTime t0 = cluster_.sim().now();
+  // The acquire may complete now (free connection) or later (implicit
+  // queue). The wait, if any, is the hidden-dependency time (Fig. 5b).
+  pool.acquire([this, key, child_idx, t0]() {
+    auto vit = visits_.find(key);
+    SG_ASSERT(vit != visits_.end());
+    vit->second.conn_wait += cluster_.sim().now() - t0;
+    send_child_rpc(key, child_idx);
+  });
+}
+
+void Application::send_child_rpc(std::uint64_t key, std::size_t child_idx) {
+  auto it = visits_.find(key);
+  SG_ASSERT(it != visits_.end());
+  Visit& v = it->second;
+  ServiceRuntime& sr = services_[static_cast<std::size_t>(v.service)];
+  const int child_service = sr.spec->children[child_idx];
+  Container& child_container =
+      *services_[static_cast<std::size_t>(child_service)].container;
+
+  RpcPacket pkt;
+  pkt.request_id = v.request_id;
+  pkt.call_id = next_call_id_++;
+  pkt.src_container = sr.container->id();
+  pkt.src_node = sr.container->node();
+  pkt.dst_container = child_container.id();
+  pkt.dst_node = child_container.node();
+  pkt.is_response = false;
+  pkt.start_time = v.start_time;   // propagated unchanged (Fig. 8)
+  pkt.upscale = outgoing_upscale(sr, v);
+
+  pending_calls_.emplace(pkt.call_id, std::make_pair(key, child_idx));
+  network_.send(pkt.src_node, pkt);
+}
+
+void Application::on_response(const RpcPacket& pkt) {
+  const auto it = pending_calls_.find(pkt.call_id);
+  SG_ASSERT_MSG(it != pending_calls_.end(), "response for unknown call");
+  const auto [key, child_idx] = it->second;
+  pending_calls_.erase(it);
+  on_child_reply(key, child_idx);
+}
+
+void Application::on_child_reply(std::uint64_t key, std::size_t child_idx) {
+  auto it = visits_.find(key);
+  SG_ASSERT(it != visits_.end());
+  Visit& v = it->second;
+  ServiceRuntime& sr = services_[static_cast<std::size_t>(v.service)];
+  sr.child_pools[child_idx]->release();
+
+  if (sr.spec->fanout == FanoutMode::kParallel) {
+    if (--v.pending_children == 0) finish_children(key);
+    return;
+  }
+  v.next_child = child_idx + 1;
+  if (v.next_child < sr.spec->children.size()) {
+    begin_child(key, v.next_child);
+  } else {
+    finish_children(key);
+  }
+}
+
+void Application::finish_children(std::uint64_t key) {
+  auto it = visits_.find(key);
+  SG_ASSERT(it != visits_.end());
+  ServiceRuntime& sr = services_[static_cast<std::size_t>(it->second.service)];
+  const double post = sr.spec->post_work_ns_mean;
+  if (post > 0.0) {
+    const double work = sr.spec->work_sigma > 0.0
+                            ? rng_.lognormal_mean(post, sr.spec->work_sigma)
+                            : post;
+    sr.container->submit(work, [this, key]() { reply(key); });
+  } else {
+    reply(key);
+  }
+}
+
+void Application::reply(std::uint64_t key) {
+  auto it = visits_.find(key);
+  SG_ASSERT(it != visits_.end());
+  Visit& v = it->second;
+  ServiceRuntime& sr = services_[static_cast<std::size_t>(v.service)];
+  const SimTime now = cluster_.sim().now();
+
+  VisitRecord rec;
+  rec.container = sr.container->id();
+  rec.arrive = v.arrive;
+  rec.depart = now;
+  rec.conn_wait = v.conn_wait;
+  rec.time_from_start = v.time_from_start;
+  rec.upscale_hint = v.arrived_upscale > 0;
+  sr.metrics.record_visit(rec);
+
+  RpcPacket pkt;
+  pkt.request_id = v.request_id;
+  pkt.call_id = v.reply_to.call_id;
+  pkt.src_container = sr.container->id();
+  pkt.src_node = sr.container->node();
+  pkt.dst_container = v.reply_to.container;
+  pkt.dst_node = v.reply_to.node;
+  pkt.is_response = true;
+  pkt.start_time = v.start_time;
+  pkt.upscale = 0;
+
+  if (sr.index == 0) {
+    --in_flight_;
+    ++requests_completed_;
+  }
+  visits_.erase(it);
+  network_.send(pkt.src_node, pkt);
+}
+
+}  // namespace sg

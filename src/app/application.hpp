@@ -1,0 +1,172 @@
+// Application: a deployed task graph processing end-to-end requests.
+//
+// This is the paper's modified-DeathStarBench layer: the container runtimes
+// that (a) execute requests per the task graph and threading model,
+// (b) compute the SurgeGuard per-request metrics and publish windowed
+// averages to Escalator (Fig. 7 step 4), and (c) stamp the SurgeGuard
+// metadata fields (startTime, upscale) on outgoing RPCs (Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "app/task_graph.hpp"
+#include "app/threadpool.hpp"
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "metrics/container_metrics.hpp"
+#include "metrics/metrics_bus.hpp"
+#include "net/network.hpp"
+
+namespace sg {
+
+/// Container-id-level view of the task graph, used by controllers that must
+/// find "downstream containers" (Table II, FirstResponder's same-node boost)
+/// without any knowledge of the application internals.
+struct AppTopology {
+  /// Immediate downstream container ids per container id.
+  std::unordered_map<int, std::vector<int>> downstream;
+  /// Entry container id.
+  int entry = 0;
+
+  /// Downstream containers of `container` hosted on `node` (any depth).
+  std::vector<int> downstream_on_node(int container, int node,
+                                      const Cluster& cluster) const;
+};
+
+/// Placement and initial sizing of an AppSpec onto a cluster.
+struct Deployment {
+  /// Node hosting each service (index-parallel to AppSpec::services).
+  std::vector<NodeId> node_of_service;
+  /// Initial logical-core allocation per service.
+  std::vector<int> initial_cores;
+
+  /// All services on one node.
+  static Deployment single_node(const AppSpec& spec, NodeId node,
+                                int cores_per_service);
+  /// Round-robin across `node_count` nodes.
+  static Deployment round_robin(const AppSpec& spec, int node_count,
+                                int cores_per_service);
+};
+
+class Application {
+ public:
+  struct Options {
+    /// Reporting window for container-runtime metric publication.
+    SimTime metrics_interval = 50 * kMillisecond;
+  };
+
+  Application(Cluster& cluster, Network& network, MetricsPlane& metrics,
+              AppSpec spec, const Deployment& deployment, Options options);
+
+  /// Convenience overload with default Options.
+  Application(Cluster& cluster, Network& network, MetricsPlane& metrics,
+              AppSpec spec, const Deployment& deployment);
+
+  Application(const Application&) = delete;
+  Application& operator=(const Application&) = delete;
+
+  const AppSpec& spec() const { return spec_; }
+
+  /// Container backing service index i.
+  Container& service_container(int i) { return *services_[static_cast<std::size_t>(i)].container; }
+  const Container& service_container(int i) const {
+    return *services_[static_cast<std::size_t>(i)].container;
+  }
+  int service_count() const { return static_cast<int>(services_.size()); }
+
+  ContainerId entry_container() const { return services_.front().container->id(); }
+  NodeId entry_node() const { return services_.front().container->node(); }
+
+  /// Starts publishing runtime metrics every metrics_interval. Call once
+  /// after controllers are attached so their buses observe from t=0.
+  void start_metric_publication();
+
+  /// --- controller-facing runtime knobs ---
+
+  /// Sets the upscale stamp for a container: while > 0, outgoing RPCs from
+  /// it carry pkt.upscale = stamp (Escalator sets this on a queueBuildup
+  /// violation; Table II row 2). Cleared by passing 0.
+  void set_upscale_stamp(ContainerId container, int stamp);
+
+  /// Lifetime profiling averages, used to derive expectedExecMetric /
+  /// expectedTimeFromStart (paper §IV "SurgeGuard Parameters").
+  const ContainerRuntimeMetrics& runtime_metrics(ContainerId container) const;
+
+  /// Requests in flight inside the application (all services).
+  int in_flight() const { return in_flight_; }
+
+  std::uint64_t requests_completed() const { return requests_completed_; }
+
+  /// Per-edge pool (service, child index) — exposed for tests/inspection.
+  const ConnectionPool& edge_pool(int service, int child_idx) const;
+
+  /// Container-id adjacency of the task graph (for controllers).
+  AppTopology topology() const;
+
+ private:
+  struct ServiceRuntime {
+    const ServiceSpec* spec = nullptr;
+    int index = 0;
+    Container* container = nullptr;
+    ContainerRuntimeMetrics metrics;
+    int upscale_stamp = 0;
+    std::vector<std::unique_ptr<ConnectionPool>> child_pools;
+  };
+
+  struct ReplyAddress {
+    int container = kClientEndpoint;
+    int node = kClientNode;
+    std::uint64_t call_id = 0;
+  };
+
+  struct Visit {
+    RequestId request_id = 0;
+    int service = 0;
+    SimTime start_time = 0;       // end-to-end job start (pkt.startTime)
+    SimTime arrive = 0;
+    SimTime time_from_start = 0;  // observed progress at ingress (eq. 5)
+    SimTime conn_wait = 0;        // timeWaitingForFreeConn accumulator
+    int arrived_upscale = 0;      // pkt.upscale on the incoming request
+    ReplyAddress reply_to;
+    std::size_t next_child = 0;   // sequential fan-out cursor
+    int pending_children = 0;     // parallel fan-out join counter
+  };
+
+  ServiceRuntime& runtime_of_container(int container);
+  void on_packet(const RpcPacket& pkt);
+  void on_request(const RpcPacket& pkt);
+  void on_response(const RpcPacket& pkt);
+  void on_own_work_done(std::uint64_t visit_key);
+  void begin_child(std::uint64_t visit_key, std::size_t child_idx);
+  void send_child_rpc(std::uint64_t visit_key, std::size_t child_idx);
+  void on_child_reply(std::uint64_t visit_key, std::size_t child_idx);
+  void finish_children(std::uint64_t visit_key);
+  void reply(std::uint64_t visit_key);
+  int outgoing_upscale(const ServiceRuntime& sr, const Visit& v) const;
+
+  Cluster& cluster_;
+  Network& network_;
+  MetricsPlane& metrics_plane_;
+  AppSpec spec_;
+  Options options_;
+  Rng rng_;
+
+  std::vector<ServiceRuntime> services_;
+  std::unordered_map<int, int> service_by_container_;
+
+  std::unordered_map<std::uint64_t, Visit> visits_;
+  std::uint64_t next_visit_key_ = 1;
+  // call_id -> visit resumption (visit key, child index).
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::size_t>>
+      pending_calls_;
+  std::uint64_t next_call_id_ = 1;
+
+  int in_flight_ = 0;
+  std::uint64_t requests_completed_ = 0;
+};
+
+}  // namespace sg

@@ -1,0 +1,54 @@
+// Connection pool for one RPC edge (paper §II-A, Fig. 5).
+//
+// With the fixed-size threadpool model, each upstream->downstream edge owns
+// a pool of opened connections. A request must hold a connection for the
+// full downstream round trip; when none is free, it waits in FIFO order.
+// That wait is the *implicit queue* central to the paper: it is invisible to
+// network-queue-based controllers (Caladan/Shenango) and is precisely the
+// `timeWaitingForFreeConn` term that SurgeGuard's execMetric subtracts out.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/time.hpp"
+
+namespace sg {
+
+class ConnectionPool {
+ public:
+  /// capacity < 0 means unbounded (connection-per-request model).
+  explicit ConnectionPool(int capacity) : capacity_(capacity), free_(capacity) {}
+
+  bool unbounded() const { return capacity_ < 0; }
+  int capacity() const { return capacity_; }
+
+  /// Connections currently held.
+  int in_use() const { return in_use_; }
+
+  /// Requests waiting for a connection (the implicit queue's length).
+  std::size_t waiting() const { return waiters_.size(); }
+
+  /// Acquires a connection; `granted` runs immediately when one is free,
+  /// otherwise when a holder releases (FIFO). The callback receives nothing;
+  /// callers measure their own wait by capturing the acquire timestamp.
+  void acquire(std::function<void()> granted);
+
+  /// Returns a connection; hands it straight to the oldest waiter if any.
+  void release();
+
+  /// Lifetime counters.
+  std::uint64_t total_acquisitions() const { return total_acquisitions_; }
+  std::uint64_t total_waits() const { return total_waits_; }
+
+ private:
+  int capacity_;
+  int free_;
+  int in_use_ = 0;
+  std::deque<std::function<void()>> waiters_;
+  std::uint64_t total_acquisitions_ = 0;
+  std::uint64_t total_waits_ = 0;
+};
+
+}  // namespace sg

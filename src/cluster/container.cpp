@@ -1,0 +1,145 @@
+#include "cluster/container.hpp"
+
+#include <cmath>
+
+#include "cluster/membw.hpp"
+#include "common/assert.hpp"
+
+namespace sg {
+
+Container::Container(Simulator& sim, Params params)
+    : sim_(sim),
+      params_(std::move(params)),
+      cores_(params_.initial_cores),
+      freq_(params_.dvfs.quantize(params_.dvfs.min_mhz)),
+      core_timeline_(static_cast<double>(cores_)),
+      freq_timeline_(static_cast<double>(freq_)) {
+  SG_ASSERT(cores_ >= 0);
+}
+
+double Container::rate() const {
+  const int n = static_cast<int>(jobs_.size());
+  if (n == 0 || cores_ == 0) return 0.0;
+  const double share =
+      std::min(1.0, static_cast<double>(cores_) / static_cast<double>(n));
+  const double interference =
+      membw_ != nullptr ? membw_->interference_factor() : 1.0;
+  return params_.dvfs.speed(freq_) * share * interference;
+}
+
+double Container::busy_cores() const {
+  return std::min(static_cast<double>(jobs_.size()),
+                  static_cast<double>(cores_));
+}
+
+void Container::advance() {
+  const SimTime now = sim_.now();
+  const SimTime dt = now - last_advance_;
+  if (dt <= 0) return;
+  const double busy = busy_cores();
+  if (busy > 0.0) {
+    energy_joules_ += params_.energy.energy_joules(busy, freq_,
+                                                   params_.dvfs.ref_mhz, dt);
+    busy_core_seconds_ += busy * to_seconds(dt);
+    vtime_ += static_cast<double>(dt) * rate();
+  }
+  // Allocated-but-idle cores poll (threadpools, RPC runtimes) and draw
+  // power; this charges over-allocation even when no request is running.
+  const double idle_cores = static_cast<double>(cores_) - busy;
+  if (idle_cores > 0.0) {
+    energy_joules_ +=
+        params_.energy.allocated_idle_watts * idle_cores * to_seconds(dt);
+  }
+  last_advance_ = now;
+}
+
+void Container::reschedule() {
+  if (completion_event_ != kInvalidEvent) {
+    sim_.cancel(completion_event_);
+    completion_event_ = kInvalidEvent;
+  }
+  if (finish_heap_.empty()) return;
+  const double r = rate();
+  if (r <= 0.0) return;  // starved: jobs stall until cores/freq return
+  const double work_left = finish_heap_.top().first - vtime_;
+  const double dt = std::max(0.0, work_left) / r;
+  // ceil so that by the event time the job has definitely finished (modulo
+  // float error handled in on_completion_event).
+  const SimTime delay = static_cast<SimTime>(std::ceil(dt));
+  completion_event_ =
+      sim_.schedule_after(delay, [this]() { on_completion_event(); });
+}
+
+void Container::on_completion_event() {
+  completion_event_ = kInvalidEvent;
+  advance();
+  // Complete everything that has received its full work. The epsilon covers
+  // accumulated floating-point error: half a nanosecond of progress at the
+  // current rate (rate() > 0 here because the event was armed).
+  const double eps = std::max(rate(), 1e-9) * 0.5;
+  bool completed_any = false;
+  while (!finish_heap_.empty() && finish_heap_.top().first <= vtime_ + eps) {
+    const JobId id = finish_heap_.top().second;
+    finish_heap_.pop();
+    auto it = jobs_.find(id);
+    SG_ASSERT_MSG(it != jobs_.end(), "completion for unknown job");
+    auto cb = std::move(it->second);
+    jobs_.erase(it);
+    ++jobs_completed_;
+    completed_any = true;
+    // Callback may submit new jobs / change allocations re-entrantly; state
+    // is consistent at this point.
+    cb();
+  }
+  // Guard against a stuck heap: if rounding left the top job un-finished,
+  // rescheduling computes a fresh (tiny but positive) delay, so progress is
+  // guaranteed. completed_any is informational for debugging.
+  (void)completed_any;
+  advance();
+  reschedule();
+  if (completed_any && membw_ != nullptr) {
+    membw_->on_member_activity_changed();
+  }
+}
+
+JobId Container::submit(double work_ns_ref, std::function<void()> on_complete) {
+  SG_ASSERT_MSG(work_ns_ref >= 0.0, "negative work");
+  advance();
+  const JobId id = next_job_id_++;
+  finish_heap_.emplace(vtime_ + work_ns_ref, id);
+  jobs_.emplace(id, std::move(on_complete));
+  reschedule();
+  if (membw_ != nullptr) membw_->on_member_activity_changed();
+  return id;
+}
+
+void Container::set_cores(int n) {
+  SG_ASSERT(n >= 0);
+  if (n == cores_) return;
+  advance();
+  cores_ = n;
+  core_timeline_.set(sim_.now(), static_cast<double>(n));
+  reschedule();
+  if (membw_ != nullptr) membw_->on_member_activity_changed();
+}
+
+void Container::set_frequency(FreqMhz f) {
+  const FreqMhz q = params_.dvfs.quantize(f);
+  if (q == freq_) return;
+  advance();
+  freq_ = q;
+  freq_timeline_.set(sim_.now(), static_cast<double>(q));
+  reschedule();
+}
+
+void Container::sync() { advance(); }
+
+void Container::attach_membw(MemBwDomain* domain) {
+  SG_ASSERT_MSG(membw_ == nullptr, "container already in a membw domain");
+  advance();
+  membw_ = domain;
+  domain->add_member(this);
+  domain->on_member_activity_changed();
+}
+
+}  // namespace sg

@@ -1,0 +1,143 @@
+// Container: the unit of resource allocation.
+//
+// Each microservice instance runs in one container owning an integer number
+// of logical cores on its node and a per-container DVFS frequency (the two
+// resources SurgeGuard manages, paper §IV). CPU work executes under
+// processor sharing: with N in-flight jobs and n cores at frequency f, every
+// job progresses at min(1, n/N) * f/f_ref. This reproduces the contention
+// behaviour the controllers react to: thread oversubscription slows all
+// requests; added cores or frequency speed them all up.
+//
+// The implementation uses virtual time: a counter V advances at the common
+// per-job rate, and a job submitted at V with work w completes when V
+// reaches w + V. Completions therefore pop from a min-heap keyed by finish-V
+// in O(log n), and rate changes (core grants, frequency boosts, arrivals,
+// departures) only need V advanced to the present and the next completion
+// event rescheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cpu.hpp"
+#include "cluster/energy.hpp"
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timeline.hpp"
+
+namespace sg {
+
+using ContainerId = int;
+using NodeId = int;
+using JobId = std::uint64_t;
+
+class MemBwDomain;
+
+class Container {
+ public:
+  struct Params {
+    std::string name;
+    ContainerId id = 0;
+    NodeId node = 0;
+    int initial_cores = 2;
+    DvfsModel dvfs{};
+    EnergyModel energy{};
+  };
+
+  Container(Simulator& sim, Params params);
+
+  Container(const Container&) = delete;
+  Container& operator=(const Container&) = delete;
+
+  const std::string& name() const { return params_.name; }
+  ContainerId id() const { return params_.id; }
+  NodeId node() const { return params_.node; }
+  const DvfsModel& dvfs() const { return params_.dvfs; }
+
+  /// Submits a CPU-bound job of `work_ns_ref` nanoseconds measured at one
+  /// dedicated core at the reference frequency. `on_complete` fires from the
+  /// event loop when the job's share of the CPU has delivered that work.
+  JobId submit(double work_ns_ref, std::function<void()> on_complete);
+
+  /// --- resource control (called by controllers) ---
+
+  /// Sets the logical-core allocation. 0 is legal (jobs stall).
+  void set_cores(int n);
+  int cores() const { return cores_; }
+
+  /// Sets the container's core frequency (quantized onto the DVFS grid).
+  void set_frequency(FreqMhz f);
+  FreqMhz frequency() const { return freq_; }
+
+  /// --- introspection ---
+
+  int active_jobs() const { return static_cast<int>(jobs_.size()); }
+  double busy_cores() const;
+
+  /// Advances internal accounting to the current simulation time. Energy and
+  /// busy-time reads are exact after sync().
+  void sync();
+
+  /// Joins a shared memory-bandwidth domain; the container's execution rate
+  /// is multiplied by the domain's interference factor from now on.
+  void attach_membw(MemBwDomain* domain);
+
+  /// Re-arms the pending completion event after an external rate change
+  /// (MemBwDomain factor updates). Callers must have sync()ed first.
+  void notify_rate_changed() { reschedule(); }
+
+  /// Joules consumed by busy cores so far (idle excluded).
+  double energy_joules() const { return energy_joules_; }
+
+  /// Integrated busy-core-seconds (utilization numerator).
+  double busy_core_seconds() const { return busy_core_seconds_; }
+
+  /// Allocation history; drives Fig. 14 and average-cores metrics.
+  const StepTimeline& core_timeline() const { return core_timeline_; }
+  const StepTimeline& freq_timeline() const { return freq_timeline_; }
+
+  /// Total jobs completed (sanity/throughput accounting).
+  std::uint64_t jobs_completed() const { return jobs_completed_; }
+
+ private:
+  /// Per-job progress rate (work-ns at ref per wall ns); 0 when starved.
+  double rate() const;
+
+  /// Advances virtual time & energy integrals to sim_.now().
+  void advance();
+
+  /// Re-arms the single pending completion event.
+  void reschedule();
+
+  void on_completion_event();
+
+  Simulator& sim_;
+  Params params_;
+  MemBwDomain* membw_ = nullptr;
+
+  int cores_;
+  FreqMhz freq_;
+
+  // Virtual-time processor-sharing state.
+  double vtime_ = 0.0;
+  SimTime last_advance_ = 0;
+  using HeapEntry = std::pair<double, JobId>;  // (finish_v, job)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      finish_heap_;
+  std::unordered_map<JobId, std::function<void()>> jobs_;
+  JobId next_job_id_ = 1;
+  EventId completion_event_ = kInvalidEvent;
+
+  // Accounting.
+  double energy_joules_ = 0.0;
+  double busy_core_seconds_ = 0.0;
+  std::uint64_t jobs_completed_ = 0;
+  StepTimeline core_timeline_;
+  StepTimeline freq_timeline_;
+};
+
+}  // namespace sg

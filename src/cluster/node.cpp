@@ -1,0 +1,66 @@
+#include "cluster/node.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace sg {
+
+Node::Node(Params params) : params_(params) {
+  SG_ASSERT(params_.total_logical_cores > 0);
+  SG_ASSERT(params_.reserved_cores >= 0);
+  SG_ASSERT(params_.reserved_cores < params_.total_logical_cores);
+}
+
+int Node::allocated_cores() const {
+  int total = 0;
+  for (const Container* c : containers_) total += c->cores();
+  return total;
+}
+
+int Node::free_cores() const { return app_cores() - allocated_cores(); }
+
+void Node::attach(Container* c) {
+  SG_ASSERT(c != nullptr);
+  SG_ASSERT_MSG(c->node() == params_.id, "container attached to wrong node");
+  containers_.push_back(c);
+  if (membw_) c->attach_membw(membw_.get());
+  SG_ASSERT_MSG(free_cores() >= 0,
+                "initial allocations oversubscribe the node");
+}
+
+int Node::grant(Container* c, int k) {
+  SG_ASSERT(c != nullptr && k >= 0);
+  const int granted = std::min(k, free_cores());
+  if (granted > 0) c->set_cores(c->cores() + granted);
+  return granted;
+}
+
+int Node::revoke(Container* c, int k, int floor) {
+  SG_ASSERT(c != nullptr && k >= 0 && floor >= 0);
+  const int revocable = std::max(0, c->cores() - floor);
+  const int revoked = std::min(k, revocable);
+  if (revoked > 0) c->set_cores(c->cores() - revoked);
+  return revoked;
+}
+
+double Node::average_allocated_cores(SimTime t0, SimTime t1) const {
+  double total = 0.0;
+  for (const Container* c : containers_)
+    total += c->core_timeline().average(t0, t1);
+  return total;
+}
+
+double Node::energy_joules() const {
+  double total = 0.0;
+  for (const Container* c : containers_) total += c->energy_joules();
+  return total;
+}
+
+void Node::enable_membw(MemBwDomain::Params params) {
+  SG_ASSERT_MSG(membw_ == nullptr, "membw domain already enabled");
+  membw_ = std::make_unique<MemBwDomain>(params);
+  for (Container* c : containers_) c->attach_membw(membw_.get());
+}
+
+}  // namespace sg

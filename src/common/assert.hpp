@@ -1,0 +1,32 @@
+// Invariant checking that stays on in release builds.
+//
+// Simulation correctness bugs (negative remaining work, double-completed
+// jobs, core-ledger mismatches) silently corrupt experiment results, so
+// invariants abort loudly instead of compiling out with NDEBUG.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sg::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "SG_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace sg::detail
+
+#define SG_ASSERT(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::sg::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define SG_ASSERT_MSG(expr, msg)                                  \
+  do {                                                            \
+    if (!(expr))                                                  \
+      ::sg::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)

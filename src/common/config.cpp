@@ -1,0 +1,151 @@
+#include "common/config.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sg {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::optional<Config> Config::parse(std::string_view text, std::string* error) {
+  Config cfg;
+  std::string section;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = (eol == std::string_view::npos)
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    // Strip comments (full-line or trailing).
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        if (error)
+          *error = "line " + std::to_string(line_no) + ": unterminated section";
+        return std::nullopt;
+      }
+      section = std::string(trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      if (error)
+        *error = "line " + std::to_string(line_no) + ": expected key = value";
+      return std::nullopt;
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      if (error) *error = "line " + std::to_string(line_no) + ": empty key";
+      return std::nullopt;
+    }
+    std::string full_key =
+        section.empty() ? std::string(key) : section + "." + std::string(key);
+    cfg.values_[std::move(full_key)] = std::string(value);
+  }
+  return cfg;
+}
+
+std::optional<Config> Config::load(const std::string& path,
+                                   std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str(), error);
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  return try_get_double(key).value_or(def);
+}
+
+long long Config::get_int(const std::string& key, long long def) const {
+  return try_get_int(key).value_or(def);
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return def;
+}
+
+std::optional<double> Config::try_get_double(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<long long> Config::try_get_int(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+std::vector<std::string> Config::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = values_.lower_bound(prefix); it != values_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+std::string Config::to_string() const {
+  std::string out;
+  for (const auto& [k, v] : values_) {
+    out += k;
+    out += " = ";
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sg

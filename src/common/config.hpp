@@ -1,0 +1,57 @@
+// Key/value configuration files, mirroring the paper artifact's
+// controllers/sample_config: per-service parameters (expectedExecMetric,
+// expectedTimeFromStart), initial core allocations, and controller knobs are
+// specified in a flat `key = value` file with `#` comments and optional
+// `[section]` grouping (section names are prefixed onto keys as
+// "section.key").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sg {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses config text; returns std::nullopt plus a message via `error` on
+  /// malformed input (line without '=', unterminated section, ...).
+  static std::optional<Config> parse(std::string_view text,
+                                     std::string* error = nullptr);
+
+  /// Loads and parses a file.
+  static std::optional<Config> load(const std::string& path,
+                                    std::string* error = nullptr);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters with defaults. Type-mismatched values fall back to the
+  /// default (and are reported by `strict_get_*` variants used in tests).
+  std::string get_string(const std::string& key,
+                         const std::string& def = "") const;
+  double get_double(const std::string& key, double def = 0.0) const;
+  long long get_int(const std::string& key, long long def = 0) const;
+  bool get_bool(const std::string& key, bool def = false) const;
+
+  std::optional<double> try_get_double(const std::string& key) const;
+  std::optional<long long> try_get_int(const std::string& key) const;
+
+  void set(const std::string& key, const std::string& value);
+
+  /// All keys with the given prefix (e.g. "service." for per-service blocks).
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  std::size_t size() const { return values_.size(); }
+
+  /// Serializes back to `key = value` lines (sorted by key).
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace sg

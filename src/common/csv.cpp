@@ -1,0 +1,62 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+namespace sg {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+CsvWriter::~CsvWriter() {
+  if (!pending_.empty()) end_row();
+}
+
+std::string CsvWriter::escape(std::string_view v) {
+  const bool needs_quotes =
+      v.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(v);
+  std::string out;
+  out.reserve(v.size() + 2);
+  out.push_back('"');
+  for (char c : v) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+CsvWriter& CsvWriter::cell(std::string_view v) {
+  pending_.emplace_back(v);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double v) {
+  pending_.push_back(fmt_double(v, 6));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(long long v) {
+  pending_.push_back(std::to_string(v));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  write_row(pending_);
+  pending_.clear();
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace sg

@@ -1,0 +1,47 @@
+// Minimal CSV writer for bench/experiment output.
+//
+// Benches regenerate the paper's figures as printed tables and, with --csv,
+// as CSV files suitable for replotting. Quoting follows RFC 4180.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sg {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; `ok()` reports whether it opened.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return out_.is_open() && out_.good(); }
+
+  /// Writes a full row of pre-stringified cells.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Streaming interface: cell(...) appends, end_row() flushes the line.
+  CsvWriter& cell(std::string_view v);
+  CsvWriter& cell(double v);
+  CsvWriter& cell(long long v);
+  CsvWriter& cell(int v) { return cell(static_cast<long long>(v)); }
+  CsvWriter& cell(std::size_t v) { return cell(static_cast<long long>(v)); }
+  void end_row();
+
+  static std::string escape(std::string_view v);
+
+ private:
+  std::ofstream out_;
+  std::vector<std::string> pending_;
+};
+
+/// Formats a double with fixed precision (helper for table printing).
+std::string fmt_double(double v, int precision = 3);
+
+}  // namespace sg

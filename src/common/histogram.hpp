@@ -1,0 +1,68 @@
+// Log-bucketed latency histogram (HDR-histogram style).
+//
+// The wrk2_spike artifact reports a latency histogram per run; this is the
+// in-simulator equivalent. Buckets grow geometrically so that relative error
+// is bounded (~2.4% with 30 sub-buckets per octave) across ns..minutes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sg {
+
+class LatencyHistogram {
+ public:
+  /// sub_buckets_per_octave controls resolution; 32 gives ~2.2% max relative
+  /// error, which is tighter than the run-to-run noise of any experiment.
+  explicit LatencyHistogram(int sub_buckets_per_octave = 32);
+
+  /// Records one latency sample (values < 1ns clamp to the first bucket).
+  void record(SimTime latency);
+
+  /// Records `n` identical samples.
+  void record_n(SimTime latency, std::uint64_t n);
+
+  std::uint64_t count() const { return total_count_; }
+  SimTime min() const;
+  SimTime max() const;
+  double mean() const;
+
+  /// Percentile in [0, 100]; returns the representative value of the bucket
+  /// containing that rank. Returns 0 for an empty histogram.
+  SimTime percentile(double p) const;
+
+  SimTime p50() const { return percentile(50.0); }
+  SimTime p90() const { return percentile(90.0); }
+  SimTime p98() const { return percentile(98.0); }
+  SimTime p99() const { return percentile(99.0); }
+
+  /// Merges another histogram (must share bucket geometry).
+  void merge(const LatencyHistogram& other);
+
+  void reset();
+
+  /// Number of samples at or above the given threshold.
+  std::uint64_t count_at_or_above(SimTime threshold) const;
+
+  /// One row per non-empty bucket: (representative latency, count).
+  struct Bucket {
+    SimTime value;
+    std::uint64_t count;
+  };
+  std::vector<Bucket> nonzero_buckets() const;
+
+ private:
+  std::size_t bucket_index(SimTime v) const;
+  SimTime bucket_value(std::size_t idx) const;
+
+  int sub_buckets_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_count_ = 0;
+  SimTime min_seen_ = kTimeInfinity;
+  SimTime max_seen_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace sg

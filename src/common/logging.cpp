@@ -1,0 +1,53 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace sg {
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard lock(mu_);
+  return level_;
+}
+
+void Logger::set_file(const std::string& path) {
+  std::lock_guard lock(mu_);
+  file_path_ = path;
+}
+
+void Logger::log(LogLevel level, const std::string& msg) {
+  std::lock_guard lock(mu_);
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (file_path_.empty()) {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  } else {
+    std::ofstream out(file_path_, std::ios::app);
+    out << '[' << level_name(level) << "] " << msg << '\n';
+  }
+}
+
+}  // namespace sg

@@ -1,0 +1,70 @@
+// Lightweight leveled logging.
+//
+// Controllers and the simulator log allocation decisions at Debug level;
+// experiments run at Warn by default so benches stay quiet. The sink is a
+// process-wide singleton guarded by a mutex — the only shared mutable state
+// in the library — because log interleaving across the parallel sweep
+// threads must serialize somewhere.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace sg {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Redirects output to a file (empty path -> stderr).
+  void set_file(const std::string& path);
+
+  void log(LogLevel level, const std::string& msg);
+
+ private:
+  Logger() = default;
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::Warn;
+  std::string file_path_;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().log(level_, ss_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+}  // namespace detail
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(Logger::instance().level());
+}
+
+}  // namespace sg
+
+#define SG_LOG(level)                        \
+  if (!::sg::log_enabled(level)) {           \
+  } else                                     \
+    ::sg::detail::LogLine(level)
+
+#define SG_DEBUG SG_LOG(::sg::LogLevel::Debug)
+#define SG_INFO SG_LOG(::sg::LogLevel::Info)
+#define SG_WARN SG_LOG(::sg::LogLevel::Warn)
+#define SG_ERROR SG_LOG(::sg::LogLevel::Error)

@@ -1,0 +1,64 @@
+// Simulated-time primitives shared by every SurgeGuard module.
+//
+// All simulation timestamps and durations are signed 64-bit nanosecond
+// counts. A signed representation lets slack computations (expected minus
+// observed progress, paper eq. 4) go negative without tripping wraparound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sg {
+
+/// Nanoseconds since simulation start (or a duration in nanoseconds).
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// Largest representable time; used as the "never" sentinel for events.
+inline constexpr SimTime kTimeInfinity = INT64_MAX;
+
+namespace literals {
+
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return static_cast<SimTime>(v);
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return static_cast<SimTime>(v) * kMicrosecond;
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return static_cast<SimTime>(v) * kMillisecond;
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return static_cast<SimTime>(v) * kSecond;
+}
+
+}  // namespace literals
+
+/// Converts a duration to fractional seconds (for reporting / math).
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts a duration to fractional milliseconds.
+constexpr double to_millis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Converts a duration to fractional microseconds.
+constexpr double to_micros(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/// Converts fractional seconds to a SimTime, rounding to nearest ns.
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+/// Human-readable rendering with an auto-selected unit ("1.25ms", "3.2s").
+std::string format_time(SimTime t);
+
+}  // namespace sg

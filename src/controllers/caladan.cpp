@@ -1,0 +1,57 @@
+#include "controllers/caladan.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace sg {
+
+CaladanAlgo::CaladanAlgo(ControllerEnv env, Options options)
+    : env_(std::move(env)), options_(options) {}
+
+void CaladanAlgo::start() {
+  env_.sim->schedule_periodic(options_.interval, options_.interval, [this]() {
+    tick();
+    return true;
+  });
+}
+
+void CaladanAlgo::tick() {
+  struct Entry {
+    Container* container;
+    double queue_buildup;
+  };
+  std::vector<Entry> queued;
+
+  for (Container* c : env_.node->containers()) {
+    const auto snap = env_.bus->latest(c->id());
+    const double busy = busy_.window_busy_cores(*env_.sim, c);
+    if (!snap || !snap->valid()) continue;
+
+    if (snap->queue_buildup > options_.queue_threshold) {
+      queued.push_back({c, snap->queue_buildup});
+      continue;
+    }
+    // Reclaim: no queueing signal and the top core sat mostly idle over the
+    // window (Caladan parks cores the moment they stop being needed).
+    if (snap->queue_buildup < options_.idle_threshold &&
+        busy < static_cast<double>(c->cores()) - 1.0 - options_.idle_margin) {
+      env_.node->revoke(c, options_.revoke_step, /*floor=*/1);
+    }
+  }
+
+  // Feed the longest queue first — Caladan's "add a core to the congested
+  // kthread" policy mapped onto containers.
+  std::sort(queued.begin(), queued.end(), [](const Entry& a, const Entry& b) {
+    return a.queue_buildup > b.queue_buildup;
+  });
+  for (const Entry& e : queued) {
+    env_.node->grant(e.container, options_.grant_step);
+    SG_DEBUG << "[caladan n" << env_.node->id() << "] upscale "
+             << e.container->name() << " qb=" << e.queue_buildup
+             << " cores=" << e.container->cores();
+  }
+}
+
+}  // namespace sg

@@ -1,0 +1,106 @@
+// Escalator: SurgeGuard's user-space controller (paper §IV-B).
+//
+// Escalator's contribution is *candidate identification*, layered on the
+// Parties allocation algorithm:
+//
+//   score(c) += 1 for each failed check of (paper §IV-B):
+//     (1) an upscale hint arrived on an incoming packet (pkt.upscale > 0)
+//     (2) queueBuildup(c) > QUEUE_TH   -> candidates are c's DOWNSTREAM
+//         containers (Table II row 2), and c starts stamping pkt.upscale on
+//         outgoing RPCs so remote downstream containers hear about it
+//     (3) execMetric(c) / expectedExecMetric(c) > EXEC_TH -> candidate is c
+//
+// Upscaling: higher scores first; ties broken by core sensitivity; one core
+// step at a time (the Parties step policy). Downscaling: Parties' slack rule
+// on score-0 containers first, then sensitivity-based revocation — take a
+// core back whenever execAvg says the container's top core buys < 2%
+// improvement (Design Feature #3).
+//
+// Feature flags reproduce the paper's Fig. 15 ablation: new metrics only,
+// sensitivity only, or the full Escalator.
+#pragma once
+
+#include <unordered_map>
+
+#include "controllers/controller.hpp"
+#include "metrics/sensitivity.hpp"
+
+namespace sg {
+
+class Escalator final : public Controller {
+ public:
+  struct Options {
+    /// Decision interval (the slower, precise path; the paper leaves this
+    /// unspecified — 100 ms sits between Parties' 500 ms and the metric
+    /// publication interval).
+    SimTime interval = 100 * kMillisecond;
+
+    /// QUEUE_TH: queueBuildup above this flags hidden-queue pressure.
+    double queue_threshold = 1.30;
+
+    /// EXEC_TH: execMetric / expectedExecMetric above this flags a true
+    /// slowdown of the container itself.
+    double exec_threshold = 1.0;
+
+    /// pkt.upscale stamp depth (how many successive downstream containers
+    /// an upstream violation may upscale).
+    int hint_depth = 3;
+
+    /// Logical cores per adjustment (2 = hyperthread pair, §V).
+    int core_step = 2;
+
+    /// Parties-style downscale rule for score-0 containers.
+    double downscale_threshold = 0.5;
+    int downscale_hold = 3;
+
+    /// Sensitivity-based revocation threshold (paper: sens < 0.02) and how
+    /// often it runs, in ticks (paper: "periodically revoking").
+    double sens_revoke_threshold = 0.02;
+    int sens_revoke_period_ticks = 2;
+
+    /// Treats unexplored sensitivity cells as this value so upscaling
+    /// prefers exploring unknown allocations over known-useless ones.
+    double unknown_sensitivity = 0.5;
+
+    /// Escalator also manages frequency (Fig. 7): boost when violating with
+    /// an empty pool, step back toward the floor when calm.
+    bool manage_frequency = true;
+    int freq_step_levels = 5;
+
+    /// --- ablation flags (Fig. 15) ---
+    /// Use execMetric/queueBuildup/hints (Design Feature #2). When false,
+    /// falls back to Parties' total-execution-time signal.
+    bool use_new_metrics = true;
+    /// Use sensitivity-aware allocation + revocation (Design Feature #3).
+    bool use_sensitivity = true;
+  };
+
+  Escalator(ControllerEnv env, Options options);
+  Escalator(ControllerEnv env) : Escalator(std::move(env), Options()) {}
+
+  std::string name() const override { return "escalator"; }
+  void start() override;
+
+  void tick();
+
+  /// Scores computed on the last tick (exposed for tests / Fig. 14 traces).
+  const std::unordered_map<int, int>& last_scores() const {
+    return last_scores_;
+  }
+
+  const SensitivityTracker& sensitivity() const { return sens_; }
+
+ private:
+  double exec_signal(const MetricsSnapshot& snap) const;
+  void downscale_pass(const std::unordered_map<int, int>& scores);
+
+  ControllerEnv env_;
+  Options options_;
+  SensitivityTracker sens_;
+  BusyWindowTracker busy_;
+  std::unordered_map<int, int> slack_streak_;
+  std::unordered_map<int, int> last_scores_;
+  long tick_count_ = 0;
+};
+
+}  // namespace sg

@@ -1,0 +1,70 @@
+#include "controllers/first_responder.hpp"
+
+#include "common/logging.hpp"
+
+namespace sg {
+
+FirstResponder::FirstResponder(ControllerEnv env, Network& network,
+                               Options options)
+    : env_(std::move(env)), network_(network), options_(options) {}
+
+void FirstResponder::start() {
+  freeze_window_ = options_.freeze_window;
+  if (freeze_window_ <= 0) {
+    const SimTime e2e = env_.targets.expected_e2e_latency;
+    freeze_window_ = e2e > 0 ? static_cast<SimTime>(
+                                   options_.freeze_multiple *
+                                   static_cast<double>(e2e))
+                             : 2 * kMillisecond;
+  }
+  network_.add_rx_hook(env_.node->id(), this);
+}
+
+void FirstResponder::on_packet(const RpcPacket& pkt) {
+  ++packets_inspected_;
+  if (pkt.dst_container == kClientEndpoint) return;
+  // Progress tracking compares arrival time against the expected elapsed
+  // time at request INGRESS; responses flowing back upstream carry the whole
+  // downstream latency and would trivially (and meaninglessly) violate.
+  if (pkt.is_response) return;
+  if (!env_.targets.has(pkt.dst_container)) return;
+
+  // Per-packet slack (eqs. 4-5): expected minus observed progress.
+  const SimTime observed = env_.sim->now() - pkt.start_time;
+  const SimTime expected = static_cast<SimTime>(
+      options_.slack_margin *
+      static_cast<double>(
+          env_.targets.of(pkt.dst_container).expected_time_from_start));
+  const SimTime slack = expected - observed;
+  if (slack >= 0) return;
+  ++violations_detected_;
+
+  // Path freeze: one boost per path per window bounds update churn.
+  const SimTime now = env_.sim->now();
+  const auto frozen = frozen_until_.find(pkt.dst_container);
+  if (frozen != frozen_until_.end() && now < frozen->second) return;
+  frozen_until_[pkt.dst_container] = now + freeze_window_;
+
+  // Coordinator enqueues; worker applies the boost off the critical path.
+  const int target = pkt.dst_container;
+  env_.sim->schedule_after(options_.update_latency,
+                           [this, target]() { boost(target); });
+}
+
+void FirstResponder::boost(int container) {
+  Container& c = env_.cluster->container(container);
+  // The violating container and its same-node downstream containers jump to
+  // max frequency (the paper's FirstResponder response).
+  c.set_frequency(c.dvfs().max_mhz);
+  ++boosts_applied_;
+  for (int d : env_.topology.downstream_on_node(container, env_.node->id(),
+                                                *env_.cluster)) {
+    Container& dc = env_.cluster->container(d);
+    dc.set_frequency(dc.dvfs().max_mhz);
+    ++boosts_applied_;
+  }
+  SG_DEBUG << "[first-responder n" << env_.node->id() << "] boost "
+           << c.name() << " and downstream to max frequency";
+}
+
+}  // namespace sg

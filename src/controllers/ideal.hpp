@@ -1,0 +1,54 @@
+// Ideal oracle controller for the detection-delay study (paper Fig. 4).
+//
+// Fig. 4 isolates the cost of detection latency: an idealized controller
+// that, `detection_delay` after a surge begins, instantly allocates exactly
+// the cores needed to sustain the surge AND drain the backlog that piled up
+// while undetected, then returns to the initial allocation once the surge
+// is over and drained. Comparing violation volume and cores across
+// detection delays (0.2ms / 0.5s / 1s) reproduces the figure's argument:
+// slower detection costs super-linearly more violation volume and requires
+// more cores, because queues build unmitigated before detection.
+#pragma once
+
+#include <vector>
+
+#include "controllers/controller.hpp"
+#include "workload/spike.hpp"
+
+namespace sg {
+
+class IdealOracleController final : public Controller {
+ public:
+  struct Options {
+    /// The surge schedule the oracle is told about.
+    SpikePattern pattern;
+    /// Time from surge start to the oracle's reaction.
+    SimTime detection_delay = 200 * kMicrosecond;
+    /// Target utilization the oracle provisions for during the surge.
+    double util_target = 0.75;
+    /// Window within which the oracle wants the backlog drained.
+    SimTime drain_window = 500 * kMillisecond;
+    /// How long the sim runs (so the oracle can pre-plan every surge).
+    SimTime horizon = 60 * kSecond;
+  };
+
+  IdealOracleController(ControllerEnv env, Options options);
+
+  std::string name() const override { return "ideal-oracle"; }
+  void start() override;
+
+ private:
+  void on_surge_detected(const SpikePattern::Window& w);
+  void on_surge_over(const SpikePattern::Window& w);
+  void restore_initial();
+
+  /// Cores needed by service i to sustain `rate` at util_target.
+  int cores_for_rate(std::size_t service, double rate) const;
+
+  ControllerEnv env_;
+  Options options_;
+  std::vector<int> initial_cores_;
+  std::vector<double> demand_ns_;  // per-request CPU ns per service
+};
+
+}  // namespace sg

@@ -1,0 +1,63 @@
+// Parties controller (Chen et al., ASPLOS'19), reimplemented as the paper
+// does (§V "Controllers Evaluated": "We implement the Parties controller in
+// C++ following the code open-sourced by the authors").
+//
+// Parties is a per-container heuristic: every 500 ms it compares each
+// latency-critical container's measured latency against its QoS limit and
+// moves one unit of one resource at a time — upscaling violators, slowly
+// reclaiming from containers with large slack. Crucially (paper §III-B), it
+// treats containers in isolation: its latency signal is the container's
+// total execution time, which *includes* time spent waiting for downstream
+// connections, so with fixed-size threadpools it pours cores into the
+// container holding the implicit queue (Fig. 14's user-timeline-service)
+// instead of the root-cause downstream service.
+#pragma once
+
+#include <unordered_map>
+
+#include "controllers/controller.hpp"
+
+namespace sg {
+
+class PartiesController final : public Controller {
+ public:
+  struct Options {
+    /// Decision interval (paper Table I: 500 ms).
+    SimTime interval = 500 * kMillisecond;
+    /// Violation when avg execTime > upscale_threshold * QoS limit.
+    double upscale_threshold = 1.0;
+    /// Downscale when avg execTime < downscale_threshold * limit ...
+    double downscale_threshold = 0.5;
+    /// ... for this many consecutive intervals.
+    int downscale_hold = 3;
+    /// Logical cores moved per adjustment (2 = both hyperthreads of a
+    /// physical core, per the paper's §V allocation policy).
+    int core_step = 2;
+    /// Whether Parties may also raise per-container frequency when the free
+    /// pool is exhausted (Parties manages frequency as one of its knobs).
+    bool manage_frequency = true;
+    /// DVFS steps per frequency adjustment.
+    int freq_step_levels = 3;
+  };
+
+  PartiesController(ControllerEnv env, Options options);
+  PartiesController(ControllerEnv env) : PartiesController(std::move(env), Options()) {}
+
+  std::string name() const override { return "parties"; }
+  void start() override;
+
+  /// One decision cycle (exposed for tests).
+  void tick();
+
+ private:
+  /// Parties' latency signal: container execution time vs its limit.
+  double violation_ratio(const MetricsSnapshot& snap, int container) const;
+
+  ControllerEnv env_;
+  Options options_;
+  BusyWindowTracker busy_;
+  /// Consecutive low-latency intervals per container (downscale FSM).
+  std::unordered_map<int, int> slack_streak_;
+};
+
+}  // namespace sg

@@ -1,0 +1,109 @@
+#include "core/config_map.hpp"
+
+namespace sg {
+
+std::optional<ControllerKind> controller_from_string(const std::string& name) {
+  if (name == "static") return ControllerKind::kStatic;
+  if (name == "parties") return ControllerKind::kParties;
+  if (name == "caladan" || name == "caladanalgo") return ControllerKind::kCaladan;
+  if (name == "escalator") return ControllerKind::kEscalator;
+  if (name == "surgeguard") return ControllerKind::kSurgeGuard;
+  if (name == "parties+metrics") return ControllerKind::kEscalatorMetricsOnly;
+  if (name == "parties+sensitivity") return ControllerKind::kEscalatorSensOnly;
+  if (name == "ideal") return ControllerKind::kIdealOracle;
+  if (name == "centralized-ml" || name == "ml") return ControllerKind::kCentralizedML;
+  if (name == "ml+surgeguard") return ControllerKind::kMLPlusSurgeGuard;
+  return std::nullopt;
+}
+
+std::optional<ExperimentConfig> experiment_from_config(const Config& cfg,
+                                                       std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<ExperimentConfig> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+
+  ExperimentConfig out;
+
+  const std::string workload = cfg.get_string("workload", "chain");
+  bool found = false;
+  for (const WorkloadInfo& w : workload_catalog()) {
+    if (workload == w.action || workload == w.family ||
+        workload == w.family + "." + w.action) {
+      out.workload = w;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return fail("unknown workload: " + workload);
+
+  const std::string controller = cfg.get_string("controller", "surgeguard");
+  const auto kind = controller_from_string(controller);
+  if (!kind) return fail("unknown controller: " + controller);
+  out.controller = *kind;
+
+  out.nodes = static_cast<int>(cfg.get_int("nodes", 1));
+  if (out.nodes < 1) return fail("nodes must be >= 1");
+
+  out.warmup = from_seconds(cfg.get_double("warmup_s", 5.0));
+  out.duration = from_seconds(cfg.get_double("duration_s", 30.0));
+  if (out.warmup < 0 || out.duration <= 0) return fail("invalid timing");
+
+  out.qos_mult = cfg.get_double("qos_mult", 2.0);
+  out.target_mult = cfg.get_double("target_mult", 2.0);
+  out.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+
+  // Optional base-rate override (the wrk2 -rate knob).
+  if (const auto rate = cfg.try_get_double("rate_rps"); rate && *rate > 0) {
+    out.workload.base_rate_rps = *rate;
+  }
+
+  out.surge_mult = cfg.get_double("surge.mult", 1.75);
+  out.surge_len = from_seconds(cfg.get_double("surge.len_ms", 2000.0) / 1e3);
+  out.surge_period =
+      from_seconds(cfg.get_double("surge.period_s", 10.0));
+  if (out.surge_mult <= 0) return fail("surge.mult must be positive");
+
+  out.net_delay_extra = static_cast<SimTime>(
+      cfg.get_double("netdelay.extra_us", 0.0) * 1e3);
+  out.net_delay_len =
+      from_seconds(cfg.get_double("netdelay.len_ms", 0.0) / 1e3);
+  out.net_delay_period =
+      from_seconds(cfg.get_double("netdelay.period_s", 10.0));
+
+  if (cfg.has("membw.node_bw_gbs")) {
+    MemBwDomain::Params bw;
+    bw.node_bw_gbs = cfg.get_double("membw.node_bw_gbs", 100.0);
+    bw.demand_per_busy_core_gbs =
+        cfg.get_double("membw.demand_per_core_gbs", 6.0);
+    if (bw.node_bw_gbs <= 0) return fail("membw.node_bw_gbs must be positive");
+    out.membw = bw;
+  }
+
+  out.ideal_detection_delay = static_cast<SimTime>(
+      cfg.get_double("ideal.detection_delay_ms", 0.2) * 1e6);
+
+  out.record_alloc_timelines = cfg.get_bool("record.alloc_timelines", false);
+  out.record_latency_series = cfg.get_bool("record.latency_series", false);
+  return out;
+}
+
+int apply_target_overrides(const Config& cfg, const WorkloadInfo& workload,
+                           TargetMap* targets) {
+  int overridden = 0;
+  for (std::size_t i = 0; i < workload.spec.services.size(); ++i) {
+    const std::string prefix =
+        "service." + workload.spec.services[i].name + ".";
+    const auto exec = cfg.try_get_double(prefix + "expected_exec_metric_us");
+    const auto tfs =
+        cfg.try_get_double(prefix + "expected_time_from_start_us");
+    if (!exec && !tfs) continue;
+    ContainerTargets& t = targets->per_container[static_cast<int>(i)];
+    if (exec) t.expected_exec_metric_ns = *exec * 1e3;
+    if (tfs) t.expected_time_from_start = static_cast<SimTime>(*tfs * 1e3);
+    ++overridden;
+  }
+  return overridden;
+}
+
+}  // namespace sg

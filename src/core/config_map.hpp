@@ -1,0 +1,49 @@
+// Config-file -> ExperimentConfig mapping (the paper artifact's workflow).
+//
+// The artifact drives experiments from a flat config file
+// (controllers/sample_config): workload selection, controller, surge shape,
+// and per-service parameters. `experiment_from_config` reproduces that
+// interface on top of the library's ExperimentConfig, and
+// `targets_from_config` lets users pin per-service expectedExecMetric /
+// expectedTimeFromStart values instead of profiling (paper §IV: "these
+// values can either be set by the user or obtained through online
+// profiling").
+//
+// Recognized keys (see sample_config at the repository root):
+//   workload            = chain | readUserTimeline | composePost | ...
+//   controller          = static | parties | caladan | escalator |
+//                         surgeguard | ideal | centralized-ml |
+//                         ml+surgeguard
+//   nodes               = 1
+//   warmup_s, duration_s, qos_mult, target_mult, seed
+//   surge.mult, surge.len_ms, surge.period_s
+//   netdelay.extra_us, netdelay.len_ms, netdelay.period_s
+//   membw.node_bw_gbs, membw.demand_per_core_gbs
+//   service.<name>.expected_exec_metric_us
+//   service.<name>.expected_time_from_start_us
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/config.hpp"
+#include "core/experiment.hpp"
+
+namespace sg {
+
+/// Parses a controller name ("surgeguard", "parties", ...); nullopt on
+/// unknown names.
+std::optional<ControllerKind> controller_from_string(const std::string& name);
+
+/// Builds an ExperimentConfig from a parsed Config. Returns nullopt and
+/// fills `error` on unknown workload/controller or invalid values.
+std::optional<ExperimentConfig> experiment_from_config(const Config& cfg,
+                                                       std::string* error);
+
+/// Applies user-pinned per-service targets from `service.<name>.*` keys on
+/// top of a profiled TargetMap (unpinned services keep profiled values).
+/// Returns how many services were overridden.
+int apply_target_overrides(const Config& cfg, const WorkloadInfo& workload,
+                           TargetMap* targets);
+
+}  // namespace sg

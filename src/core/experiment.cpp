@@ -1,0 +1,310 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "controllers/caladan.hpp"
+#include "controllers/centralized.hpp"
+#include "controllers/controller.hpp"
+#include "controllers/ideal.hpp"
+#include "controllers/parties.hpp"
+#include "controllers/surgeguard.hpp"
+
+namespace sg {
+
+const char* to_string(ControllerKind k) {
+  switch (k) {
+    case ControllerKind::kStatic: return "Static";
+    case ControllerKind::kParties: return "Parties";
+    case ControllerKind::kCaladan: return "CaladanAlgo";
+    case ControllerKind::kEscalator: return "Escalator";
+    case ControllerKind::kSurgeGuard: return "SurgeGuard";
+    case ControllerKind::kEscalatorMetricsOnly: return "Parties+Metrics";
+    case ControllerKind::kEscalatorSensOnly: return "Parties+Sensitivity";
+    case ControllerKind::kIdealOracle: return "IdealOracle";
+    case ControllerKind::kCentralizedML: return "CentralizedML";
+    case ControllerKind::kMLPlusSurgeGuard: return "ML+SurgeGuard";
+  }
+  return "?";
+}
+
+SpikePattern ExperimentConfig::make_pattern() const {
+  if (pattern_override) return *pattern_override;
+  if (surge_len <= 0 || surge_mult == 1.0) {
+    return SpikePattern::steady(workload.base_rate_rps);
+  }
+  return SpikePattern::surges(workload.base_rate_rps, surge_mult, surge_len,
+                              surge_period, warmup + first_surge_offset);
+}
+
+namespace {
+
+/// Everything one simulated run needs, with construction order = teardown
+/// safety (sim outlives all users).
+struct Testbed {
+  Simulator sim;
+  Cluster cluster;
+  Network network;
+  MetricsPlane metrics;
+  std::unique_ptr<Application> app;
+  std::vector<std::unique_ptr<Controller>> controllers;
+  std::vector<FirstResponder*> first_responders;
+
+  Testbed(std::uint64_t seed, int nodes)
+      : sim(seed), cluster(sim), network(sim), metrics(static_cast<std::size_t>(nodes)) {}
+};
+
+std::unique_ptr<Testbed> build_testbed(const ExperimentConfig& config,
+                                       const TargetMap& targets,
+                                       const SpikePattern& pattern) {
+  auto tb = std::make_unique<Testbed>(config.seed, config.nodes);
+  const WorkloadInfo& w = config.workload;
+
+  // Placement: round-robin services over nodes, calibrated initial cores.
+  Deployment deployment;
+  deployment.initial_cores = w.initial_cores;
+  deployment.node_of_service.resize(w.spec.services.size());
+  std::vector<int> init_on_node(static_cast<std::size_t>(config.nodes), 0);
+  for (std::size_t i = 0; i < w.spec.services.size(); ++i) {
+    const NodeId n = static_cast<NodeId>(i % static_cast<std::size_t>(config.nodes));
+    deployment.node_of_service[i] = n;
+    init_on_node[static_cast<std::size_t>(n)] += w.initial_cores[i];
+  }
+
+  // Node sizing (artifact: workload starts at ~2/3 of allocatable cores).
+  for (int n = 0; n < config.nodes; ++n) {
+    const int app_cores = std::max(
+        init_on_node[static_cast<std::size_t>(n)] + 2,
+        static_cast<int>(std::ceil(
+            static_cast<double>(init_on_node[static_cast<std::size_t>(n)]) *
+            config.free_headroom)));
+    const NodeId id =
+        tb->cluster.add_node(app_cores + config.reserved_cores_per_node,
+                             config.reserved_cores_per_node);
+    // Optional shared-resource interference (paper §VII extension).
+    if (config.membw) tb->cluster.node(id).enable_membw(*config.membw);
+  }
+
+  // Application with Little's-law-provisioned connection pools (eq. 1).
+  AppSpec spec = w.spec;
+  const double hop_ns = config.nodes > 1
+                            ? static_cast<double>(tb->network.model().cross_node_ns)
+                            : static_cast<double>(tb->network.model().same_node_ns);
+  spec.autosize_pools(w.base_rate_rps, hop_ns);
+  Application::Options app_opts;
+  app_opts.metrics_interval = config.metrics_interval;
+  tb->app = std::make_unique<Application>(tb->cluster, tb->network, tb->metrics,
+                                          std::move(spec), deployment, app_opts);
+  tb->app->start_metric_publication();
+
+  // One controller instance per node (decentralized, Fig. 1).
+  const AppTopology topology = tb->app->topology();
+  for (int n = 0; n < config.nodes; ++n) {
+    ControllerEnv env;
+    env.sim = &tb->sim;
+    env.cluster = &tb->cluster;
+    env.node = &tb->cluster.node(n);
+    env.bus = &tb->metrics.node_bus(n);
+    env.app = tb->app.get();
+    env.topology = topology;
+    env.targets = targets;
+
+    switch (config.controller) {
+      case ControllerKind::kStatic:
+        tb->controllers.push_back(std::make_unique<StaticController>(std::move(env)));
+        break;
+      case ControllerKind::kParties:
+        tb->controllers.push_back(std::make_unique<PartiesController>(std::move(env)));
+        break;
+      case ControllerKind::kCaladan:
+        tb->controllers.push_back(std::make_unique<CaladanAlgo>(std::move(env)));
+        break;
+      case ControllerKind::kCentralizedML:
+        // Centralized by definition: ONE instance sees every node. Created
+        // while handling node 0; other nodes add nothing.
+        if (n == 0) {
+          tb->controllers.push_back(std::make_unique<CentralizedMLController>(
+              tb->sim, tb->cluster, tb->metrics, targets));
+        }
+        break;
+      case ControllerKind::kMLPlusSurgeGuard: {
+        // Paper SVII: the ML controller periodically sets steady-state
+        // allocations; SurgeGuard handles the transients in between.
+        if (n == 0) {
+          tb->controllers.push_back(std::make_unique<CentralizedMLController>(
+              tb->sim, tb->cluster, tb->metrics, targets));
+        }
+        auto sg_ctrl =
+            std::make_unique<SurgeGuard>(std::move(env), tb->network,
+                                         SurgeGuard::Options{});
+        if (sg_ctrl->first_responder() != nullptr) {
+          tb->first_responders.push_back(sg_ctrl->first_responder());
+        }
+        tb->controllers.push_back(std::move(sg_ctrl));
+        break;
+      }
+      case ControllerKind::kEscalator:
+      case ControllerKind::kSurgeGuard:
+      case ControllerKind::kEscalatorMetricsOnly:
+      case ControllerKind::kEscalatorSensOnly: {
+        SurgeGuard::Options opts;
+        opts.enable_first_responder =
+            config.controller == ControllerKind::kSurgeGuard;
+        // Fig. 15's middle bars are "Parties + one mechanism": one Escalator
+        // feature on top of the Parties base allocator at Parties' own
+        // 500 ms cadence — NOT the faster full Escalator.
+        if (config.controller == ControllerKind::kEscalatorMetricsOnly) {
+          opts.escalator.use_sensitivity = false;
+          opts.escalator.interval = 500 * kMillisecond;
+        }
+        if (config.controller == ControllerKind::kEscalatorSensOnly) {
+          opts.escalator.use_new_metrics = false;
+          opts.escalator.interval = 500 * kMillisecond;
+        }
+        auto sg_ctrl = std::make_unique<SurgeGuard>(std::move(env), tb->network, opts);
+        if (sg_ctrl->first_responder() != nullptr) {
+          tb->first_responders.push_back(sg_ctrl->first_responder());
+        }
+        tb->controllers.push_back(std::move(sg_ctrl));
+        break;
+      }
+      case ControllerKind::kIdealOracle: {
+        IdealOracleController::Options opts;
+        opts.pattern = pattern;
+        opts.detection_delay = config.ideal_detection_delay;
+        opts.drain_window = config.ideal_drain_window;
+        opts.horizon = config.warmup + config.duration + 10 * kSecond;
+        tb->controllers.push_back(
+            std::make_unique<IdealOracleController>(std::move(env), opts));
+        break;
+      }
+    }
+  }
+  return tb;
+}
+
+}  // namespace
+
+ProfileResult profile_workload(const WorkloadInfo& workload, int nodes,
+                               double target_mult, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.workload = workload;
+  cfg.controller = ControllerKind::kStatic;
+  cfg.nodes = nodes;
+  cfg.seed = seed;
+
+  const SpikePattern low_load =
+      SpikePattern::steady(workload.base_rate_rps * 0.1);
+  auto tb = build_testbed(cfg, TargetMap{}, low_load);
+
+  LoadGenOptions gen_opts;
+  gen_opts.pattern = low_load;
+  gen_opts.qos = kSecond;  // irrelevant at low load
+  gen_opts.warmup = 2 * kSecond;
+  gen_opts.duration = 4 * kSecond;
+  LoadGenerator gen(tb->sim, tb->network, *tb->app, gen_opts);
+  for (auto& c : tb->controllers) c->start();
+  gen.start();
+  tb->sim.run_until(gen.measure_end());
+
+  ProfileResult prof;
+  for (int i = 0; i < tb->app->service_count(); ++i) {
+    const Container& c = tb->app->service_container(i);
+    const ContainerRuntimeMetrics& m = tb->app->runtime_metrics(c.id());
+    ContainerTargets t;
+    t.expected_exec_metric_ns =
+        target_mult * m.lifetime_avg_exec_metric_ns();
+    t.expected_time_from_start = static_cast<SimTime>(
+        target_mult * m.lifetime_avg_time_from_start_ns());
+    prof.targets.per_container.emplace(c.id(), t);
+  }
+  const LoadGenResults res = gen.results();
+  prof.low_load_mean_latency = static_cast<SimTime>(res.mean_latency_ns);
+  prof.low_load_p98 = res.p98;
+  prof.targets.expected_e2e_latency = prof.low_load_mean_latency;
+  SG_ASSERT_MSG(res.completed > 0, "profiling run completed no requests");
+  return prof;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const ProfileResult& profile) {
+  const SpikePattern pattern = config.make_pattern();
+  auto tb = build_testbed(config, profile.targets, pattern);
+
+  LoadGenOptions gen_opts;
+  gen_opts.pattern = pattern;
+  gen_opts.qos = static_cast<SimTime>(
+      config.qos_mult * static_cast<double>(profile.low_load_mean_latency));
+  gen_opts.warmup = config.warmup;
+  gen_opts.duration = config.duration;
+  gen_opts.vv_window = config.vv_window;
+  LoadGenerator gen(tb->sim, tb->network, *tb->app, gen_opts);
+
+  for (auto& c : tb->controllers) c->start();
+  gen.start();
+
+  // Network-latency surge injection (the paper's second disruption class):
+  // periodic windows during which every packet pays an extra delay.
+  if (config.net_delay_len > 0 && config.net_delay_extra > 0) {
+    for (SimTime start = config.warmup + config.first_surge_offset;
+         start < gen.measure_end(); start += config.net_delay_period) {
+      tb->sim.schedule_at(start, [&tb, &config]() {
+        tb->network.set_extra_delay(config.net_delay_extra);
+      });
+      tb->sim.schedule_at(start + config.net_delay_len, [&tb]() {
+        tb->network.set_extra_delay(0);
+      });
+    }
+  }
+
+  // Energy over the measurement window only (paper subtracts idle and
+  // reports application energy during the run).
+  double energy_at_start = 0.0;
+  tb->sim.schedule_at(gen.measure_start(), [&]() {
+    tb->cluster.sync_all();
+    energy_at_start = tb->cluster.total_energy_joules();
+  });
+
+  tb->sim.run_until(gen.measure_end());
+  tb->cluster.sync_all();
+
+  ExperimentResult out;
+  out.load = gen.results();
+  out.measure_start = gen.measure_start();
+  out.measure_end = gen.measure_end();
+  out.avg_cores = tb->cluster.average_allocated_cores(gen.measure_start(),
+                                                      gen.measure_end());
+  out.energy_joules = tb->cluster.total_energy_joules() - energy_at_start;
+
+  for (const FirstResponder* fr : tb->first_responders) {
+    out.fr_packets += fr->packets_inspected();
+    out.fr_violations += fr->violations_detected();
+    out.fr_boosts += fr->boosts_applied();
+  }
+
+  if (config.record_alloc_timelines) {
+    for (int i = 0; i < tb->app->service_count(); ++i) {
+      const Container& c = tb->app->service_container(i);
+      ContainerTrace trace;
+      trace.name = c.name();
+      trace.cores = c.core_timeline().sample(0, gen.measure_end(),
+                                             config.trace_sample_interval);
+      trace.frequency = c.freq_timeline().sample(0, gen.measure_end(),
+                                                 config.trace_sample_interval);
+      out.alloc_traces.push_back(std::move(trace));
+    }
+  }
+  if (config.record_latency_series) {
+    out.latency_series = gen.vv_tracker().latency_series().sample(
+        0, gen.measure_end(), config.vv_window);
+  }
+  return out;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  const ProfileResult profile =
+      profile_workload(config.workload, config.nodes, config.target_mult);
+  return run_experiment(config, profile);
+}
+
+}  // namespace sg

@@ -1,0 +1,154 @@
+// Experiment harness: builds a full simulated testbed (cluster + network +
+// application + load generator + per-node controllers), runs it, and
+// reports the paper's measurements (violation volume, tail latency, average
+// cores used, energy).
+//
+// The setup mirrors the paper's protocol (§V + artifact appendix):
+//   * per-service parameters (expectedExecMetric, expectedTimeFromStart)
+//     profiled at low load and set to 2x the measured values;
+//   * base rate "slightly below the knee" — encoded in the calibrated
+//     workload catalog;
+//   * the application initialized to ~2/3 of the node's allocatable cores,
+//     the rest available on demand;
+//   * surges injected as rate spikes of configurable magnitude/duration.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/workloads.hpp"
+#include "controllers/targets.hpp"
+#include "sim/timeline.hpp"
+#include "workload/load_generator.hpp"
+
+namespace sg {
+
+enum class ControllerKind {
+  kStatic,
+  kParties,
+  kCaladan,
+  kEscalator,             // Escalator without FirstResponder (Fig. 10)
+  kSurgeGuard,            // Escalator + FirstResponder
+  kEscalatorMetricsOnly,  // Fig. 15: new metrics, no sensitivity
+  kEscalatorSensOnly,     // Fig. 15: sensitivity, Parties' metric
+  kIdealOracle,           // Fig. 4
+  kCentralizedML,         // Table I's ML row (Sinan/Sage stand-in)
+  kMLPlusSurgeGuard,      // paper §VII: ML for steady state + SurgeGuard
+};
+
+const char* to_string(ControllerKind k);
+
+/// Low-load profiling output: the per-container targets and the operating
+/// context shared by every controller in an experiment.
+struct ProfileResult {
+  TargetMap targets;
+  /// Mean end-to-end latency at low load (QoS derives from this).
+  SimTime low_load_mean_latency = 0;
+  /// Mean end-to-end latency observed (diagnostics).
+  SimTime low_load_p98 = 0;
+};
+
+struct ExperimentConfig {
+  WorkloadInfo workload;
+  ControllerKind controller = ControllerKind::kSurgeGuard;
+
+  int nodes = 1;
+
+  /// Surge shape: spike_rate = surge_mult * base rate, for surge_len, every
+  /// surge_period, first one at warmup + first_surge_offset.
+  double surge_mult = 1.75;
+  SimTime surge_len = 2 * kSecond;
+  SimTime surge_period = 10 * kSecond;
+  SimTime first_surge_offset = 1 * kSecond;
+
+  SimTime warmup = 5 * kSecond;
+  SimTime duration = 30 * kSecond;
+
+  /// QoS target = qos_mult x low-load mean e2e latency (wrk2_spike -qos).
+  /// 2x leaves headroom over base-load tails yet is tight enough that even
+  /// 1.25x surges violate, as in the paper.
+  double qos_mult = 2.0;
+  /// Per-container targets = target_mult x low-load profile (paper: 2x).
+  double target_mult = 2.0;
+
+  SimTime metrics_interval = 50 * kMillisecond;
+  SimTime vv_window = 5 * kMillisecond;
+
+  /// Node sizing: allocatable cores = ceil(initial_on_node * free_headroom)
+  /// (artifact: workload initialized to 2/3 of allocatable cores).
+  double free_headroom = 1.5;
+  int reserved_cores_per_node = 19;
+
+  std::uint64_t seed = 1;
+
+  /// Overrides the derived spike pattern entirely (Fig. 10 short surges).
+  std::optional<SpikePattern> pattern_override;
+
+  /// Enables the per-node shared memory-bandwidth interference domain
+  /// (paper §VII extension; bench_ablation_membw).
+  std::optional<MemBwDomain::Params> membw;
+
+  /// Injects periodic network-latency surges: every packet gains
+  /// `net_delay_extra` during windows of `net_delay_len` every
+  /// `net_delay_period`, first at warmup + first_surge_offset. Models the
+  /// paper's "surges in ... network latency" disruption class.
+  SimTime net_delay_extra = 0;
+  SimTime net_delay_len = 0;
+  SimTime net_delay_period = 10 * kSecond;
+
+  /// IdealOracle detection delay (Fig. 4).
+  SimTime ideal_detection_delay = 200 * kMicrosecond;
+  SimTime ideal_drain_window = 500 * kMillisecond;
+
+  /// Record per-container allocation timelines / output-latency series.
+  bool record_alloc_timelines = false;
+  bool record_latency_series = false;
+  SimTime trace_sample_interval = 100 * kMillisecond;
+
+  /// Derived spike pattern for this config.
+  SpikePattern make_pattern() const;
+};
+
+struct ContainerTrace {
+  std::string name;
+  std::vector<StepTimeline::Point> cores;      // sampled allocation
+  std::vector<StepTimeline::Point> frequency;  // sampled MHz
+};
+
+struct ExperimentResult {
+  LoadGenResults load;
+
+  /// Time-averaged allocated cores over the measurement window.
+  double avg_cores = 0.0;
+  /// Busy-core energy over the measurement window (joules).
+  double energy_joules = 0.0;
+
+  /// FirstResponder counters (zero unless the controller has one).
+  std::uint64_t fr_packets = 0;
+  std::uint64_t fr_violations = 0;
+  std::uint64_t fr_boosts = 0;
+
+  /// Optional traces.
+  std::vector<ContainerTrace> alloc_traces;
+  std::vector<StepTimeline::Point> latency_series;
+
+  SimTime measure_start = 0;
+  SimTime measure_end = 0;
+};
+
+/// Profiles the workload at low load (10% of base rate) with a static
+/// controller; deterministic for a given seed.
+ProfileResult profile_workload(const WorkloadInfo& workload, int nodes,
+                               double target_mult = 2.0,
+                               std::uint64_t seed = 42);
+
+/// Runs one experiment replication.
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const ProfileResult& profile);
+
+/// Convenience: profile + run in one call (profiling cached per call only).
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace sg

@@ -1,0 +1,58 @@
+#include "core/reporting.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/csv.hpp"
+
+namespace sg {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      line += row[i];
+      line.append(widths[i] - row[i].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string fmt_ratio(double v, int precision) {
+  return fmt_double(v, precision) + "x";
+}
+
+void print_banner(const std::string& title) {
+  std::string bar(title.size() + 4, '=');
+  std::printf("\n%s\n= %s =\n%s\n", bar.c_str(), title.c_str(), bar.c_str());
+}
+
+}  // namespace sg

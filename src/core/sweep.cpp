@@ -1,0 +1,66 @@
+#include "core/sweep.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/stats.hpp"
+
+namespace sg {
+
+RepStats run_replicated(const ExperimentConfig& config,
+                        const ProfileResult& profile,
+                        const SweepOptions& options) {
+  const int reps = std::max(1, options.replications);
+  std::vector<ExperimentResult> results(static_cast<std::size_t>(reps));
+
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(reps));
+
+  // Work-stealing index; each worker builds and runs whole simulations
+  // locally (no shared mutable state between replications, CP.2), writing
+  // into its own pre-sized slot.
+  std::atomic<int> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const int k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= reps) return;
+      ExperimentConfig cfg = config;
+      cfg.seed = options.seed0 + static_cast<std::uint64_t>(k);
+      results[static_cast<std::size_t>(k)] = run_experiment(cfg, profile);
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  }
+
+  RepStats stats;
+  for (const ExperimentResult& r : results) {
+    stats.violation_volume.push_back(r.load.violation_volume_ms_s);
+    stats.avg_cores.push_back(r.avg_cores);
+    stats.energy_joules.push_back(r.energy_joules);
+    stats.p98_ms.push_back(to_millis(r.load.p98));
+  }
+  stats.vv = trimmed_mean(stats.violation_volume, options.trim);
+  stats.cores = trimmed_mean(stats.avg_cores, options.trim);
+  stats.energy = trimmed_mean(stats.energy_joules, options.trim);
+  stats.p98 = trimmed_mean(stats.p98_ms, options.trim);
+  return stats;
+}
+
+RepStats run_replicated(const ExperimentConfig& config,
+                        const SweepOptions& options) {
+  const ProfileResult profile =
+      profile_workload(config.workload, config.nodes, config.target_mult);
+  return run_replicated(config, profile, options);
+}
+
+}  // namespace sg

@@ -1,0 +1,56 @@
+// Replication and sweep protocol (paper artifact appendix):
+// "For each spike pattern, we collect 17 data-points for each controller.
+// While averaging ... we exclude the best and worst data-points ... and
+// average the remaining 15."
+//
+// Replications are embarrassingly parallel: each runs its own Simulator
+// seeded seed0 + k, on its own thread, with no shared mutable state beyond
+// the result vector (guarded). Results are bit-deterministic per seed, so a
+// sweep's aggregate is reproducible regardless of thread schedule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace sg {
+
+struct RepStats {
+  /// Raw per-replication values, in seed order.
+  std::vector<double> violation_volume;
+  std::vector<double> avg_cores;
+  std::vector<double> energy_joules;
+  std::vector<double> p98_ms;
+
+  /// Trimmed means (drop best/worst), the paper's aggregation.
+  double vv = 0.0;
+  double cores = 0.0;
+  double energy = 0.0;
+  double p98 = 0.0;
+
+  std::size_t replications() const { return violation_volume.size(); }
+};
+
+struct SweepOptions {
+  /// Replications per configuration (paper: 17; benches default lower for
+  /// wall-clock reasons — the protocol is identical).
+  int replications = 5;
+  /// Data points trimmed from each end before averaging (paper: 1).
+  std::size_t trim = 1;
+  /// Worker threads (0 = hardware concurrency).
+  unsigned threads = 0;
+  std::uint64_t seed0 = 1;
+};
+
+/// Runs `options.replications` copies of `config` (seeds seed0..seed0+n-1)
+/// against a shared profile and aggregates with the trimmed-mean protocol.
+RepStats run_replicated(const ExperimentConfig& config,
+                        const ProfileResult& profile,
+                        const SweepOptions& options);
+
+/// Convenience wrapper that profiles first.
+RepStats run_replicated(const ExperimentConfig& config,
+                        const SweepOptions& options);
+
+}  // namespace sg

@@ -1,0 +1,40 @@
+#include "metrics/sensitivity.hpp"
+
+namespace sg {
+
+void SensitivityTracker::observe(int container, int cores,
+                                 double exec_metric_ns) {
+  if (cores < 0 || exec_metric_ns <= 0.0) return;
+  auto [it, inserted] =
+      table_.try_emplace({container, cores}, Ewma{alpha_});
+  it->second.add(exec_metric_ns);
+}
+
+std::optional<double> SensitivityTracker::exec_avg(int container,
+                                                   int cores) const {
+  const auto it = table_.find({container, cores});
+  if (it == table_.end() || !it->second.initialized()) return std::nullopt;
+  return it->second.value();
+}
+
+std::optional<double> SensitivityTracker::sensitivity(int container,
+                                                      int cores) const {
+  const auto at_n = exec_avg(container, cores);
+  const auto at_n1 = exec_avg(container, cores + 1);
+  if (!at_n || !at_n1 || *at_n <= 0.0) return std::nullopt;
+  return 1.0 - *at_n1 / *at_n;
+}
+
+double SensitivityTracker::sensitivity_or(int container, int cores,
+                                          double unknown_value) const {
+  return sensitivity(container, cores).value_or(unknown_value);
+}
+
+bool SensitivityTracker::revocation_candidate(int container, int cores,
+                                              double threshold) const {
+  if (cores <= 1) return false;  // never starve a container entirely
+  const auto s = sensitivity(container, cores - 1);
+  return s.has_value() && *s < threshold;
+}
+
+}  // namespace sg

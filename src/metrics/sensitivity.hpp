@@ -1,0 +1,60 @@
+// Online resource-sensitivity profiling (paper §III-C, Design Feature #3).
+//
+// SurgeGuard keeps execAvg[container][#cores]: an exponential running
+// average (alpha = 0.5, weighting new samples heavily) of the execution
+// metric observed at each core allocation the container has actually run
+// with. The sensitivity of adding a core is the fractional execution-time
+// reduction the next core historically bought:
+//
+//   sens[c][n] = 1 - execAvg[c][n+1] / execAvg[c][n]
+//
+// Escalator uses sens for two things: preferring high-sensitivity containers
+// when upscaling, and periodically revoking a core from containers where
+// sens[c][cores-1] < 0.02 (the allocation buys less than 2% improvement).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "common/ewma.hpp"
+
+namespace sg {
+
+class SensitivityTracker {
+ public:
+  /// alpha follows the paper's convention: new_avg = alpha*old + (1-alpha)*new,
+  /// with alpha = 0.5.
+  explicit SensitivityTracker(double alpha = 0.5) : alpha_(alpha) {}
+
+  /// Feeds one observation: the container ran with `cores` and exhibited the
+  /// given average execMetric over the reporting window.
+  void observe(int container, int cores, double exec_metric_ns);
+
+  /// execAvg[c][n], if that allocation has been observed.
+  std::optional<double> exec_avg(int container, int cores) const;
+
+  /// sens[c][n] = 1 - execAvg[c][n+1]/execAvg[c][n]; nullopt unless both
+  /// cells have been observed.
+  std::optional<double> sensitivity(int container, int cores) const;
+
+  /// Sensitivity with an optimistic default for unexplored cells: unknown
+  /// allocations return `unknown_value`, so upscaling prefers exploring them
+  /// over allocations known to be useless.
+  double sensitivity_or(int container, int cores, double unknown_value) const;
+
+  /// True when the tracker is confident the container's *current* top core
+  /// is buying less than `threshold` improvement: sens[c][cores-1] known and
+  /// below threshold (the revocation test, paper: threshold 0.02).
+  bool revocation_candidate(int container, int cores,
+                            double threshold = 0.02) const;
+
+  /// Number of (container, cores) cells observed so far.
+  std::size_t cells() const { return table_.size(); }
+
+ private:
+  double alpha_;
+  std::map<std::pair<int, int>, Ewma> table_;
+};
+
+}  // namespace sg

@@ -1,0 +1,57 @@
+#include "net/network.hpp"
+
+#include "common/assert.hpp"
+
+namespace sg {
+
+Network::Network(Simulator& sim, NetworkLatencyModel model)
+    : sim_(sim), model_(model), rng_(sim.rng().fork()) {}
+
+void Network::register_receiver(int container, Receiver receiver) {
+  SG_ASSERT_MSG(container != kClientEndpoint,
+                "use register_client_receiver for the client endpoint");
+  receivers_[container] = std::move(receiver);
+}
+
+void Network::register_client_receiver(Receiver receiver) {
+  client_receiver_ = std::move(receiver);
+}
+
+void Network::add_rx_hook(int node, RxHook* hook) {
+  SG_ASSERT(hook != nullptr);
+  hooks_[node].push_back(hook);
+}
+
+SimTime Network::sample_latency(int src_node, int dst_node) {
+  const SimTime base =
+      src_node == dst_node ? model_.same_node_ns : model_.cross_node_ns;
+  const double scale = rng_.uniform(1.0 - model_.jitter, 1.0 + model_.jitter);
+  SimTime latency = static_cast<SimTime>(static_cast<double>(base) * scale);
+  latency += model_.extra_delay_ns;
+  return latency < 0 ? 0 : latency;
+}
+
+void Network::send(int src_node, const RpcPacket& pkt) {
+  const SimTime latency = sample_latency(src_node, pkt.dst_node);
+  // Packets are value types: the copy in the closure is the wire copy.
+  sim_.schedule_after(latency, [this, pkt]() { deliver(pkt); });
+}
+
+void Network::deliver(const RpcPacket& pkt) {
+  ++packets_delivered_;
+  // Receive-side hook chain: the netif_receive_skb attachment point. Hooks
+  // see the packet before the destination container does.
+  if (const auto hit = hooks_.find(pkt.dst_node); hit != hooks_.end()) {
+    for (RxHook* hook : hit->second) hook->on_packet(pkt);
+  }
+  if (pkt.dst_container == kClientEndpoint) {
+    SG_ASSERT_MSG(client_receiver_, "no client receiver registered");
+    client_receiver_(pkt);
+    return;
+  }
+  const auto it = receivers_.find(pkt.dst_container);
+  SG_ASSERT_MSG(it != receivers_.end(), "packet to unregistered container");
+  it->second(pkt);
+}
+
+}  // namespace sg

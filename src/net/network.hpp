@@ -1,0 +1,87 @@
+// Network substrate: RPC delivery with latency plus receive-side hooks.
+//
+// This is the analog of the Linux networking stack in the paper's testbed.
+// The crucial property reproduced here is the *hook point*: FirstResponder
+// attaches at the earliest point of the receiver-side stack
+// (`netif_receive_skb`), seeing every packet before it reaches the
+// destination container. `Network` therefore runs a per-node hook chain at
+// delivery time, before invoking the destination's receiver callback.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace sg {
+
+/// Receive-side packet interceptor (the kernel-module attachment point).
+/// Hooks may read packet fields and trigger side effects (frequency boosts)
+/// but must not consume the packet; delivery always continues.
+class RxHook {
+ public:
+  virtual ~RxHook() = default;
+  virtual void on_packet(const RpcPacket& pkt) = 0;
+};
+
+struct NetworkLatencyModel {
+  SimTime same_node_ns = 15 * kMicrosecond;   // loopback RPC stack overhead
+  SimTime cross_node_ns = 40 * kMicrosecond;  // ToR-switch hop
+  /// Multiplicative jitter: latency is scaled by U[1-jitter, 1+jitter].
+  double jitter = 0.1;
+  /// Additional delay injected on every packet (used by experiments that
+  /// model transient network slowdowns).
+  SimTime extra_delay_ns = 0;
+};
+
+class Network {
+ public:
+  using Receiver = std::function<void(const RpcPacket&)>;
+
+  Network(Simulator& sim, NetworkLatencyModel model = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers the receiver for packets addressed to `container`. The
+  /// application model registers one per service instance; the workload
+  /// generator registers the client endpoint per node it drives.
+  void register_receiver(int container, Receiver receiver);
+
+  /// Registers a client-side receiver for response packets addressed to
+  /// kClientEndpoint.
+  void register_client_receiver(Receiver receiver);
+
+  /// Attaches a receive-side hook on a node (FirstResponder's attach point).
+  void add_rx_hook(int node, RxHook* hook);
+
+  /// Sends a packet from `src_node`; it is delivered on pkt.dst_node after
+  /// the modeled latency: hooks first, then the destination receiver.
+  void send(int src_node, const RpcPacket& pkt);
+
+  /// Changes the extra per-packet delay at runtime (network-latency surge
+  /// experiments).
+  void set_extra_delay(SimTime d) { model_.extra_delay_ns = d; }
+
+  const NetworkLatencyModel& model() const { return model_; }
+
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
+
+ private:
+  SimTime sample_latency(int src_node, int dst_node);
+  void deliver(const RpcPacket& pkt);
+
+  Simulator& sim_;
+  NetworkLatencyModel model_;
+  Rng rng_;
+  std::unordered_map<int, Receiver> receivers_;
+  Receiver client_receiver_;
+  std::unordered_map<int, std::vector<RxHook*>> hooks_;
+  std::uint64_t packets_delivered_ = 0;
+};
+
+}  // namespace sg

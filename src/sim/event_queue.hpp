@@ -1,0 +1,71 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary heap ordered by (time, sequence) gives deterministic FIFO
+// tie-breaking for simultaneous events — essential for reproducible
+// experiments. Cancellation is lazy (tombstones), which keeps schedule and
+// pop at O(log n) without a handle-indexed heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sg {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Adds an event; returns a handle usable with cancel().
+  EventId push(SimTime time, Callback cb);
+
+  /// Cancels a pending event. Safe to call on already-fired or invalid
+  /// handles (no-op). Returns true when the event was actually pending.
+  bool cancel(EventId id);
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event (kTimeInfinity when empty).
+  SimTime next_time() const;
+
+  /// Removes and returns the earliest live event.
+  /// Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    Callback cb;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    // mutable so pop() can move the callback out of the priority_queue's
+    // const top() reference; the comparator never inspects cb.
+    mutable Callback cb;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> pending_;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+};
+
+}  // namespace sg

@@ -1,0 +1,60 @@
+#include "sim/simulator.hpp"
+
+#include <memory>
+
+#include "common/assert.hpp"
+
+namespace sg {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::schedule_at(SimTime t, EventQueue::Callback cb) {
+  if (t < now_) t = now_;
+  return queue_.push(t, std::move(cb));
+}
+
+EventId Simulator::schedule_after(SimTime delay, EventQueue::Callback cb) {
+  if (delay < 0) delay = 0;
+  return queue_.push(now_ + delay, std::move(cb));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  SG_ASSERT_MSG(fired.time >= now_, "event queue returned time in the past");
+  now_ = fired.time;
+  ++events_processed_;
+  fired.cb();
+  return true;
+}
+
+void Simulator::run_until(SimTime end) {
+  while (!queue_.empty() && queue_.next_time() <= end) {
+    step();
+  }
+  if (now_ < end) now_ = end;
+}
+
+void Simulator::run_to_completion() {
+  while (step()) {
+  }
+}
+
+void Simulator::schedule_periodic(SimTime start, SimTime period,
+                                  std::function<bool()> fn) {
+  SG_ASSERT_MSG(period > 0, "periodic event needs a positive period");
+  // Each firing reschedules itself. Only event callbacks hold strong
+  // references to the closure; the closure holds a weak one, so the chain is
+  // freed as soon as fn() returns false or the queue is destroyed (no cycle).
+  auto fire = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_fire = fire;
+  *fire = [this, period, fn = std::move(fn), weak_fire]() {
+    if (!fn()) return;
+    if (auto strong = weak_fire.lock()) {
+      schedule_after(period, [strong]() { (*strong)(); });
+    }
+  };
+  schedule_at(start, [fire]() { (*fire)(); });
+}
+
+}  // namespace sg

@@ -1,0 +1,63 @@
+// Discrete-event simulator core.
+//
+// Single-threaded and fully deterministic: one Simulator per experiment
+// replication, with its own clock, event queue, and RNG. Parallelism in the
+// harness is across replications (one Simulator per thread), never within
+// one — which is both simpler and what keeps results bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/event_queue.hpp"
+
+namespace sg {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedules a callback at absolute time t (clamped to now for past times,
+  /// so "immediate" follow-ups from within a handler are legal).
+  EventId schedule_at(SimTime t, EventQueue::Callback cb);
+
+  /// Schedules a callback `delay` from now (delay < 0 clamps to 0).
+  EventId schedule_after(SimTime delay, EventQueue::Callback cb);
+
+  /// Cancels a pending event (no-op for fired/unknown handles).
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Processes one event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs events with time <= end; the clock finishes exactly at `end` even
+  /// if the queue drains early (so time-integrated statistics are exact).
+  void run_until(SimTime end);
+
+  /// Runs until the event queue is empty.
+  void run_to_completion();
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t events_pending() const { return queue_.size(); }
+
+  /// Registers a periodic tick: fn runs every `period` starting at `start`,
+  /// until it returns false. Used for controller decision loops.
+  void schedule_periodic(SimTime start, SimTime period,
+                         std::function<bool()> fn);
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace sg

@@ -1,0 +1,107 @@
+#include "workload/load_generator.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace sg {
+
+LoadGenerator::LoadGenerator(Simulator& sim, Network& network,
+                             Application& app, LoadGenOptions options)
+    : sim_(sim),
+      network_(network),
+      app_(app),
+      options_(options),
+      rng_(sim.rng().fork()),
+      vv_(options.qos, options.vv_window) {
+  SG_ASSERT(options_.pattern.base_rate_rps > 0.0);
+  network_.register_client_receiver(
+      [this](const RpcPacket& pkt) { on_response(pkt); });
+}
+
+void LoadGenerator::start() { schedule_next_arrival(); }
+
+void LoadGenerator::schedule_next_arrival() {
+  if (stopped_) return;
+  const double max_rate = options_.pattern.max_rate();
+  SG_ASSERT(max_rate > 0.0);
+  const double mean_gap_ns = 1e9 / max_rate;
+
+  if (options_.poisson) {
+    // Non-homogeneous Poisson via thinning: draw at the envelope rate,
+    // accept with probability rate(t)/max_rate. Exact for piecewise-constant
+    // rates, which is all SpikePattern produces.
+    const double gap = rng_.exponential(mean_gap_ns);
+    sim_.schedule_after(static_cast<SimTime>(gap), [this, max_rate]() {
+      const double accept_p =
+          options_.pattern.rate_at(sim_.now()) / max_rate;
+      if (rng_.uniform() < accept_p) issue_request();
+      schedule_next_arrival();
+    });
+  } else {
+    // Constant-throughput pacing (wrk2's scheduling model) at the
+    // instantaneous rate. When a rate-change boundary lands before the next
+    // scheduled arrival, pacing re-synchronizes at the boundary so even
+    // spikes shorter than one base-rate gap are generated.
+    const SimTime now = sim_.now();
+    const double rate_now = options_.pattern.rate_at(now);
+    const SimTime gap =
+        std::max<SimTime>(1, static_cast<SimTime>(std::llround(1e9 / rate_now)));
+    const SimTime boundary = options_.pattern.next_rate_change(now);
+    if (boundary < now + gap) {
+      sim_.schedule_at(boundary, [this]() { schedule_next_arrival(); });
+    } else {
+      sim_.schedule_after(gap, [this]() {
+        issue_request();
+        schedule_next_arrival();
+      });
+    }
+  }
+}
+
+void LoadGenerator::issue_request() {
+  RpcPacket pkt;
+  pkt.request_id = next_request_++;
+  pkt.call_id = 0;
+  pkt.src_container = kClientEndpoint;
+  pkt.src_node = kClientNode;
+  pkt.dst_container = app_.entry_container();
+  pkt.dst_node = app_.entry_node();
+  pkt.is_response = false;
+  pkt.start_time = sim_.now();  // SurgeGuard startTime stamped at the source
+  pkt.upscale = 0;
+  ++issued_;
+  network_.send(kClientNode, pkt);
+}
+
+void LoadGenerator::on_response(const RpcPacket& pkt) {
+  const SimTime now = sim_.now();
+  const SimTime latency = now - pkt.start_time;
+  vv_.record_completion(now, latency);
+  if (now >= measure_start() && now < measure_end()) {
+    histogram_.record(latency);
+    ++completed_in_window_;
+  }
+}
+
+LoadGenResults LoadGenerator::results() {
+  vv_.finalize(sim_.now());
+  LoadGenResults r;
+  r.issued = issued_;
+  r.completed = completed_in_window_;
+  r.violation_volume_ms_s =
+      vv_.violation_volume_ms_s(measure_start(), measure_end());
+  r.violation_duration_frac =
+      vv_.violation_duration_fraction(measure_start(), measure_end());
+  r.p50 = histogram_.p50();
+  r.p98 = histogram_.p98();
+  r.p99 = histogram_.p99();
+  r.max_latency = histogram_.max();
+  r.mean_latency_ns = histogram_.mean();
+  r.throughput_rps = static_cast<double>(completed_in_window_) /
+                     to_seconds(options_.duration);
+  r.qos = options_.qos;
+  return r;
+}
+
+}  // namespace sg

@@ -1,0 +1,102 @@
+// Open-loop load generator: the wrk2_spike analog (artifact A2).
+//
+// Issues requests to an Application's entry service per a SpikePattern,
+// records per-request latency, and reports the latency histogram plus the
+// violation volume — exactly the outputs of the paper's modified wrk2.
+// Arrivals are open-loop (requests are sent on schedule regardless of
+// completions), which is what makes queue buildup during surges visible.
+#pragma once
+
+#include <cstdint>
+
+#include "app/application.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "workload/spike.hpp"
+#include "workload/violation_volume.hpp"
+
+namespace sg {
+
+struct LoadGenOptions {
+  SpikePattern pattern;
+
+  /// End-to-end QoS target (wrk2_spike -qos).
+  SimTime qos = 10 * kMillisecond;
+
+  /// Measurement starts at `warmup` and lasts `duration` (paper: 30s + 60s;
+  /// benches default shorter for wall-clock reasons, protocol identical).
+  SimTime warmup = 5 * kSecond;
+  SimTime duration = 30 * kSecond;
+
+  /// Poisson (true) or wrk2-style constant-throughput (false) pacing.
+  /// wrk2's scheduler paces deterministically, so that is the default.
+  bool poisson = false;
+
+  /// Output-latency bucketing for the violation-volume curve.
+  SimTime vv_window = 5 * kMillisecond;
+};
+
+struct LoadGenResults {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;  // completions inside the measure window
+  double violation_volume_ms_s = 0.0;
+  double violation_duration_frac = 0.0;
+  SimTime p50 = 0;
+  SimTime p98 = 0;
+  SimTime p99 = 0;
+  SimTime max_latency = 0;
+  double mean_latency_ns = 0.0;
+  double throughput_rps = 0.0;
+  SimTime qos = 0;
+};
+
+class LoadGenerator {
+ public:
+  LoadGenerator(Simulator& sim, Network& network, Application& app,
+                LoadGenOptions options);
+
+  LoadGenerator(const LoadGenerator&) = delete;
+  LoadGenerator& operator=(const LoadGenerator&) = delete;
+
+  /// Arms the arrival process from t = now. The simulation owner then runs
+  /// the simulator to warmup + duration (plus drain slack if desired).
+  void start();
+
+  /// Stops issuing new requests (in-flight ones still complete).
+  void stop() { stopped_ = true; }
+
+  /// Results over the measurement window. Call after the simulator has run
+  /// past warmup + duration.
+  LoadGenResults results();
+
+  SimTime measure_start() const { return options_.warmup; }
+  SimTime measure_end() const { return options_.warmup + options_.duration; }
+
+  const LatencyHistogram& histogram() const { return histogram_; }
+  const ViolationVolumeTracker& vv_tracker() const { return vv_; }
+  const LoadGenOptions& options() const { return options_; }
+
+ private:
+  void schedule_next_arrival();
+  void issue_request();
+  void on_response(const RpcPacket& pkt);
+
+  Simulator& sim_;
+  Network& network_;
+  Application& app_;
+  LoadGenOptions options_;
+  Rng rng_;
+
+  LatencyHistogram histogram_;
+  ViolationVolumeTracker vv_;
+
+  RequestId next_request_ = 1;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_in_window_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace sg

@@ -1,0 +1,67 @@
+#include "workload/violation_volume.hpp"
+
+#include "common/assert.hpp"
+
+namespace sg {
+
+ViolationVolumeTracker::ViolationVolumeTracker(SimTime qos, SimTime window)
+    : qos_(qos), window_(window), series_(0.0) {
+  SG_ASSERT(qos > 0 && window > 0);
+}
+
+void ViolationVolumeTracker::close_window() {
+  if (window_count_ > 0) {
+    series_.set(window_start_, window_sum_ / static_cast<double>(window_count_));
+  }
+  // Empty windows: hold the previous value (no series update).
+  window_sum_ = 0.0;
+  window_count_ = 0;
+}
+
+void ViolationVolumeTracker::record_completion(SimTime t, SimTime latency) {
+  SG_ASSERT_MSG(t >= window_start_, "completions must be time-ordered");
+  while (t >= window_start_ + window_) {
+    close_window();
+    window_start_ += window_;
+  }
+  window_sum_ += static_cast<double>(latency);
+  ++window_count_;
+}
+
+void ViolationVolumeTracker::finalize(SimTime now) {
+  while (now >= window_start_ + window_) {
+    close_window();
+    window_start_ += window_;
+  }
+  close_window();
+}
+
+double ViolationVolumeTracker::violation_volume_ns2(SimTime t0,
+                                                    SimTime t1) const {
+  return series_.integrate_above(t0, t1, static_cast<double>(qos_));
+}
+
+double ViolationVolumeTracker::violation_volume_ms_s(SimTime t0,
+                                                     SimTime t1) const {
+  // ns (latency) * ns (time) -> ms * s: divide by 1e6 * 1e9.
+  return violation_volume_ns2(t0, t1) / 1e15;
+}
+
+double ViolationVolumeTracker::violation_duration_fraction(SimTime t0,
+                                                           SimTime t1) const {
+  if (t1 <= t0) return 0.0;
+  double above = 0.0;
+  const auto& pts = series_.points();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const SimTime seg_start = std::max(pts[i].time, t0);
+    const SimTime seg_end =
+        (i + 1 < pts.size()) ? std::min(pts[i + 1].time, t1) : t1;
+    if (seg_start >= t1) break;
+    if (seg_end > seg_start && pts[i].value > static_cast<double>(qos_)) {
+      above += static_cast<double>(seg_end - seg_start);
+    }
+  }
+  return above / static_cast<double>(t1 - t0);
+}
+
+}  // namespace sg

@@ -1,0 +1,239 @@
+// End-to-end request flow through the application model.
+#include "app/application.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/load_generator.hpp"
+
+namespace sg {
+namespace {
+
+struct MiniTestbed {
+  Simulator sim{7};
+  Cluster cluster{sim};
+  Network network;
+  MetricsPlane metrics{1};
+  std::unique_ptr<Application> app;
+
+  explicit MiniTestbed(AppSpec spec, int cores_per_service = 4,
+                       NetworkLatencyModel model = {}) : network(sim, model) {
+    cluster.add_node(64, 19);
+    Deployment dep = Deployment::single_node(spec, 0, cores_per_service);
+    app = std::make_unique<Application>(cluster, network, metrics,
+                                        std::move(spec), dep);
+  }
+
+  /// Sends one client request; returns (completed, latency).
+  std::pair<bool, SimTime> run_one_request() {
+    bool done = false;
+    SimTime latency = 0;
+    network.register_client_receiver([&](const RpcPacket& p) {
+      done = true;
+      latency = sim.now() - p.start_time;
+    });
+    RpcPacket pkt;
+    pkt.request_id = 1;
+    pkt.dst_container = app->entry_container();
+    pkt.dst_node = app->entry_node();
+    pkt.start_time = sim.now();
+    network.send(kClientNode, pkt);
+    sim.run_to_completion();
+    return {done, latency};
+  }
+};
+
+AppSpec chain_spec(int n, double work = 10'000.0) {
+  AppSpec spec;
+  spec.name = "chain";
+  for (int i = 0; i < n; ++i) {
+    ServiceSpec s;
+    s.name = "s" + std::to_string(i);
+    s.work_ns_mean = work;
+    s.work_sigma = 0.0;  // deterministic for exact assertions
+    if (i + 1 < n) s.children = {i + 1};
+    spec.services.push_back(s);
+  }
+  return spec;
+}
+
+TEST(ApplicationTest, SingleRequestTraversesChain) {
+  MiniTestbed tb(chain_spec(3));
+  auto [done, latency] = tb.run_one_request();
+  EXPECT_TRUE(done);
+  EXPECT_GT(latency, 30'000);  // at least the CPU work
+  EXPECT_EQ(tb.app->requests_completed(), 1u);
+  EXPECT_EQ(tb.app->in_flight(), 0);
+}
+
+TEST(ApplicationTest, LatencyAccountsWorkAndHops) {
+  NetworkLatencyModel model;
+  model.jitter = 0.0;
+  MiniTestbed tb(chain_spec(3), 4, model);
+  auto [done, latency] = tb.run_one_request();
+  ASSERT_TRUE(done);
+  // 3 services x 10us work; hops: client->s0, s0->s1, s1->s2 and the three
+  // responses = 6 x same_node... client hops are cross-node (client is
+  // remote): 2 cross + 4 same.
+  const SimTime expected = 3 * 10'000 + 2 * model.cross_node_ns +
+                           4 * model.same_node_ns;
+  EXPECT_EQ(latency, expected);
+}
+
+TEST(ApplicationTest, ParallelFanoutOverlapsChildren) {
+  AppSpec par;
+  par.name = "par";
+  ServiceSpec root, s1, s2;
+  root.name = "root";
+  root.work_ns_mean = 0;
+  root.work_sigma = 0;
+  root.children = {1, 2};
+  root.fanout = FanoutMode::kParallel;
+  s1.name = "s1";
+  s1.work_ns_mean = 500'000;
+  s1.work_sigma = 0;
+  s2.name = "s2";
+  s2.work_ns_mean = 500'000;
+  s2.work_sigma = 0;
+  par.services = {root, s1, s2};
+
+  AppSpec seq = par;
+  seq.services[0].fanout = FanoutMode::kSequential;
+
+  NetworkLatencyModel model;
+  model.jitter = 0.0;
+  MiniTestbed tb_par(par, 4, model);
+  MiniTestbed tb_seq(seq, 4, model);
+  auto [dp, lat_par] = tb_par.run_one_request();
+  auto [ds, lat_seq] = tb_seq.run_one_request();
+  ASSERT_TRUE(dp && ds);
+  // Parallel: children overlap (distinct containers) -> ~one child latency.
+  // Sequential: both children serialize.
+  EXPECT_LT(lat_par, lat_seq);
+  EXPECT_GT(lat_seq, 1'000'000);
+  EXPECT_LT(lat_par, 1'000'000);
+}
+
+TEST(ApplicationTest, PostWorkRunsAfterChildren) {
+  AppSpec spec = chain_spec(2);
+  spec.services[0].post_work_ns_mean = 50'000;
+  NetworkLatencyModel model;
+  model.jitter = 0.0;
+  MiniTestbed tb(spec, 4, model);
+  auto [done, latency] = tb.run_one_request();
+  ASSERT_TRUE(done);
+  const SimTime expected = 2 * 10'000 + 50'000 + 2 * model.cross_node_ns +
+                           2 * model.same_node_ns;
+  EXPECT_EQ(latency, expected);
+}
+
+TEST(ApplicationTest, VisitRecordsCapturedPerContainer) {
+  MiniTestbed tb(chain_spec(2));
+  tb.run_one_request();
+  const auto& m0 = tb.app->runtime_metrics(tb.app->service_container(0).id());
+  const auto& m1 = tb.app->runtime_metrics(tb.app->service_container(1).id());
+  EXPECT_EQ(m0.total_visits(), 1u);
+  EXPECT_EQ(m1.total_visits(), 1u);
+  // Upstream exec time includes downstream latency.
+  EXPECT_GT(m0.lifetime_avg_exec_metric_ns(), m1.lifetime_avg_exec_metric_ns());
+}
+
+TEST(ApplicationTest, TimeFromStartGrowsDownstream) {
+  MiniTestbed tb(chain_spec(3));
+  tb.run_one_request();
+  double prev = -1.0;
+  for (int i = 0; i < 3; ++i) {
+    const auto& m = tb.app->runtime_metrics(tb.app->service_container(i).id());
+    EXPECT_GT(m.lifetime_avg_time_from_start_ns(), prev);
+    prev = m.lifetime_avg_time_from_start_ns();
+  }
+}
+
+TEST(ApplicationTest, UpscaleStampPropagatesAndDecrements) {
+  MiniTestbed tb(chain_spec(4));
+  // Stamp at service 1 with depth 2: services 2 and 3 should receive hints
+  // (2 at depth 2, 3 at depth 1), service 1 itself receives none.
+  tb.app->set_upscale_stamp(tb.app->service_container(1).id(), 2);
+  tb.run_one_request();
+  auto hint_received = [&](int svc) {
+    // Hint state is only visible through the flushed snapshot.
+    ContainerRuntimeMetrics& m = const_cast<ContainerRuntimeMetrics&>(
+        tb.app->runtime_metrics(tb.app->service_container(svc).id()));
+    return m.flush(tb.sim.now()).upscale_hint_received;
+  };
+  EXPECT_FALSE(hint_received(0));
+  EXPECT_FALSE(hint_received(1));
+  EXPECT_TRUE(hint_received(2));
+  EXPECT_TRUE(hint_received(3));
+}
+
+TEST(ApplicationTest, StampDepthOneReachesOnlyChild) {
+  MiniTestbed tb(chain_spec(4));
+  tb.app->set_upscale_stamp(tb.app->service_container(1).id(), 1);
+  tb.run_one_request();
+  auto hint_received = [&](int svc) {
+    ContainerRuntimeMetrics& m = const_cast<ContainerRuntimeMetrics&>(
+        tb.app->runtime_metrics(tb.app->service_container(svc).id()));
+    return m.flush(tb.sim.now()).upscale_hint_received;
+  };
+  EXPECT_TRUE(hint_received(2));
+  EXPECT_FALSE(hint_received(3));
+}
+
+TEST(ApplicationTest, ClearingStampStopsHints) {
+  MiniTestbed tb(chain_spec(3));
+  tb.app->set_upscale_stamp(tb.app->service_container(0).id(), 3);
+  tb.app->set_upscale_stamp(tb.app->service_container(0).id(), 0);
+  tb.run_one_request();
+  ContainerRuntimeMetrics& m = const_cast<ContainerRuntimeMetrics&>(
+      tb.app->runtime_metrics(tb.app->service_container(1).id()));
+  EXPECT_FALSE(m.flush(tb.sim.now()).upscale_hint_received);
+}
+
+TEST(ApplicationTest, TopologyMatchesSpec) {
+  MiniTestbed tb(chain_spec(3));
+  const AppTopology topo = tb.app->topology();
+  const int c0 = tb.app->service_container(0).id();
+  const int c1 = tb.app->service_container(1).id();
+  const int c2 = tb.app->service_container(2).id();
+  EXPECT_EQ(topo.entry, c0);
+  EXPECT_EQ(topo.downstream.at(c0), std::vector<int>{c1});
+  EXPECT_EQ(topo.downstream.at(c1), std::vector<int>{c2});
+  EXPECT_TRUE(topo.downstream.at(c2).empty());
+}
+
+TEST(ApplicationTest, DownstreamOnNodeTransitive) {
+  MiniTestbed tb(chain_spec(4));
+  const AppTopology topo = tb.app->topology();
+  const auto down = topo.downstream_on_node(tb.app->service_container(0).id(),
+                                            0, tb.cluster);
+  EXPECT_EQ(down.size(), 3u);  // all on node 0
+}
+
+TEST(ApplicationTest, MetricPublicationFlushesToBus) {
+  MiniTestbed tb(chain_spec(2));
+  tb.app->start_metric_publication();
+  // Run a few requests across several publication intervals.
+  tb.network.register_client_receiver([](const RpcPacket&) {});
+  for (int i = 0; i < 5; ++i) {
+    RpcPacket pkt;
+    pkt.request_id = static_cast<RequestId>(i + 1);
+    pkt.dst_container = tb.app->entry_container();
+    pkt.dst_node = tb.app->entry_node();
+    pkt.start_time = tb.sim.now();
+    tb.network.send(kClientNode, pkt);
+    tb.sim.run_until(tb.sim.now() + 60 * kMillisecond);
+  }
+  const auto snap =
+      tb.metrics.node_bus(0).latest(tb.app->entry_container());
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_GT(snap->window_end, 0);
+}
+
+TEST(ApplicationTest, DeploymentRoundRobinSpreads) {
+  AppSpec spec = chain_spec(4);
+  const Deployment d = Deployment::round_robin(spec, 2, 2);
+  EXPECT_EQ(d.node_of_service, (std::vector<NodeId>{0, 1, 0, 1}));
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,108 @@
+#include "app/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sg {
+namespace {
+
+TEST(ConnectionPoolTest, GrantsWhileFree) {
+  ConnectionPool pool(2);
+  int granted = 0;
+  pool.acquire([&]() { ++granted; });
+  pool.acquire([&]() { ++granted; });
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(pool.in_use(), 2);
+  EXPECT_EQ(pool.waiting(), 0u);
+}
+
+TEST(ConnectionPoolTest, QueuesWhenExhausted) {
+  ConnectionPool pool(1);
+  int granted = 0;
+  pool.acquire([&]() { ++granted; });
+  pool.acquire([&]() { ++granted; });
+  EXPECT_EQ(granted, 1);
+  EXPECT_EQ(pool.waiting(), 1u);
+  EXPECT_EQ(pool.total_waits(), 1u);
+}
+
+TEST(ConnectionPoolTest, ReleaseHandsToOldestWaiter) {
+  ConnectionPool pool(1);
+  std::vector<int> order;
+  pool.acquire([&]() { order.push_back(0); });
+  pool.acquire([&]() { order.push_back(1); });
+  pool.acquire([&]() { order.push_back(2); });
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  pool.release();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));  // FIFO
+  pool.release();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(pool.in_use(), 1);
+  pool.release();
+  EXPECT_EQ(pool.in_use(), 0);
+}
+
+TEST(ConnectionPoolTest, InUseNeverExceedsCapacity) {
+  ConnectionPool pool(3);
+  for (int i = 0; i < 10; ++i) pool.acquire([]() {});
+  EXPECT_EQ(pool.in_use(), 3);
+  EXPECT_EQ(pool.waiting(), 7u);
+  for (int i = 0; i < 7; ++i) {
+    pool.release();
+    EXPECT_LE(pool.in_use(), 3);
+  }
+}
+
+TEST(ConnectionPoolTest, UnboundedNeverWaits) {
+  ConnectionPool pool(-1);
+  EXPECT_TRUE(pool.unbounded());
+  int granted = 0;
+  for (int i = 0; i < 1000; ++i) pool.acquire([&]() { ++granted; });
+  EXPECT_EQ(granted, 1000);
+  EXPECT_EQ(pool.waiting(), 0u);
+  EXPECT_EQ(pool.total_waits(), 0u);
+  for (int i = 0; i < 1000; ++i) pool.release();
+  EXPECT_EQ(pool.in_use(), 0);
+}
+
+TEST(ConnectionPoolTest, CountsAcquisitions) {
+  ConnectionPool pool(1);
+  pool.acquire([]() {});
+  pool.acquire([]() {});
+  pool.release();
+  EXPECT_EQ(pool.total_acquisitions(), 2u);
+}
+
+TEST(ConnectionPoolTest, HandoffKeepsLedgerConsistent) {
+  // A release that hands straight to a waiter must not inflate free count.
+  ConnectionPool pool(1);
+  int granted = 0;
+  pool.acquire([&]() { ++granted; });
+  pool.acquire([&]() { ++granted; });
+  pool.release();  // hand-off
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(pool.in_use(), 1);
+  pool.release();  // now actually free
+  // Pool usable again:
+  pool.acquire([&]() { ++granted; });
+  EXPECT_EQ(granted, 3);
+}
+
+TEST(ConnectionPoolTest, WaiterCanReacquireOnGrant) {
+  // Re-entrant acquire from within a grant callback (as the application's
+  // sequential fan-out does) must not corrupt state.
+  ConnectionPool pool(1);
+  int depth = 0;
+  pool.acquire([&]() { ++depth; });
+  pool.acquire([&]() {
+    ++depth;
+    pool.release();
+  });
+  pool.release();  // grants the waiter, which releases inside its callback
+  EXPECT_EQ(depth, 2);
+  EXPECT_EQ(pool.in_use(), 0);
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,254 @@
+// Processor-sharing container semantics: the heart of the CPU model.
+#include "cluster/container.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace sg {
+namespace {
+
+std::unique_ptr<Container> make_container(Simulator& sim, int cores,
+                                          DvfsModel dvfs = {}) {
+  Container::Params p;
+  p.name = "c";
+  p.id = 0;
+  p.node = 0;
+  p.initial_cores = cores;
+  p.dvfs = dvfs;
+  return std::make_unique<Container>(sim, std::move(p));
+}
+
+TEST(ContainerTest, SingleJobTakesItsWork) {
+  Simulator sim;
+  auto c = make_container(sim, 1);
+  SimTime done = -1;
+  c->submit(1000.0, [&]() { done = sim.now(); });
+  sim.run_to_completion();
+  EXPECT_EQ(done, 1000);
+}
+
+TEST(ContainerTest, TwoJobsOnOneCoreShareProcessor) {
+  // PS: two equal jobs on one core each progress at half speed; both finish
+  // at 2x the solo time.
+  Simulator sim;
+  auto c = make_container(sim, 1);
+  std::vector<SimTime> done;
+  c->submit(1000.0, [&]() { done.push_back(sim.now()); });
+  c->submit(1000.0, [&]() { done.push_back(sim.now()); });
+  sim.run_to_completion();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(done[0]), 2000.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(done[1]), 2000.0, 2.0);
+}
+
+TEST(ContainerTest, TwoJobsOnTwoCoresRunFullSpeed) {
+  Simulator sim;
+  auto c = make_container(sim, 2);
+  std::vector<SimTime> done;
+  c->submit(1000.0, [&]() { done.push_back(sim.now()); });
+  c->submit(1000.0, [&]() { done.push_back(sim.now()); });
+  sim.run_to_completion();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(done[0]), 1000.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(done[1]), 1000.0, 2.0);
+}
+
+TEST(ContainerTest, ShorterJobCompletesFirst) {
+  Simulator sim;
+  auto c = make_container(sim, 1);
+  std::vector<int> order;
+  c->submit(2000.0, [&]() { order.push_back(2); });
+  c->submit(500.0, [&]() { order.push_back(1); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ContainerTest, StaggeredArrivalPs) {
+  // Job A (1000ns) starts at t=0 alone; at t=500, job B (1000ns) arrives.
+  // Shared core: A's remaining 500 work takes 1000 wall -> A done at 1500.
+  // B received 500 work during [500,1500]; its remaining 500 then runs at
+  // full speed -> B done at 2000.
+  Simulator sim;
+  auto c = make_container(sim, 1);
+  SimTime done_a = 0, done_b = 0;
+  c->submit(1000.0, [&]() { done_a = sim.now(); });
+  sim.schedule_at(500, [&]() {
+    c->submit(1000.0, [&]() { done_b = sim.now(); });
+  });
+  sim.run_to_completion();
+  EXPECT_NEAR(static_cast<double>(done_a), 1500.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(done_b), 2000.0, 2.0);
+}
+
+TEST(ContainerTest, FrequencyScalesThroughput) {
+  Simulator sim;
+  DvfsModel dvfs;
+  dvfs.scaling_efficiency = 1.0;  // exact 2x at 3200
+  dvfs.max_mhz = 3200;
+  auto c = make_container(sim, 1, dvfs);
+  c->set_frequency(3200);
+  SimTime done = -1;
+  c->submit(1000.0, [&]() { done = sim.now(); });
+  sim.run_to_completion();
+  EXPECT_NEAR(static_cast<double>(done), 500.0, 2.0);
+}
+
+TEST(ContainerTest, FrequencyChangeMidJob) {
+  Simulator sim;
+  DvfsModel dvfs;
+  dvfs.scaling_efficiency = 1.0;
+  dvfs.max_mhz = 3200;
+  auto c = make_container(sim, 1, dvfs);
+  SimTime done = -1;
+  c->submit(1000.0, [&]() { done = sim.now(); });
+  // After 500ns (500 work done), double the speed: remaining 500 work takes
+  // 250ns -> completes at 750.
+  sim.schedule_at(500, [&]() { c->set_frequency(3200); });
+  sim.run_to_completion();
+  EXPECT_NEAR(static_cast<double>(done), 750.0, 2.0);
+}
+
+TEST(ContainerTest, CoreChangeMidJobRescales) {
+  Simulator sim;
+  auto c = make_container(sim, 1);
+  std::vector<SimTime> done;
+  c->submit(1000.0, [&]() { done.push_back(sim.now()); });
+  c->submit(1000.0, [&]() { done.push_back(sim.now()); });
+  // At t=1000 each job has 500 work left (shared core). Granting a second
+  // core lets both run at full speed: finish at 1500.
+  sim.schedule_at(1000, [&]() { c->set_cores(2); });
+  sim.run_to_completion();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(done[0]), 1500.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(done[1]), 1500.0, 2.0);
+}
+
+TEST(ContainerTest, ZeroCoresStallsJobs) {
+  Simulator sim;
+  auto c = make_container(sim, 1);
+  SimTime done = -1;
+  c->submit(1000.0, [&]() { done = sim.now(); });
+  sim.schedule_at(200, [&]() { c->set_cores(0); });
+  sim.schedule_at(5000, [&]() { c->set_cores(1); });
+  sim.run_to_completion();
+  // 200 work done before the stall; 800 after cores return at t=5000.
+  EXPECT_NEAR(static_cast<double>(done), 5800.0, 2.0);
+}
+
+TEST(ContainerTest, ZeroWorkJobCompletesImmediately) {
+  Simulator sim;
+  auto c = make_container(sim, 1);
+  SimTime done = -1;
+  c->submit(0.0, [&]() { done = sim.now(); });
+  sim.run_to_completion();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(ContainerTest, CompletionCallbackCanResubmit) {
+  Simulator sim;
+  auto c = make_container(sim, 1);
+  int completions = 0;
+  std::function<void()> chain = [&]() {
+    ++completions;
+    if (completions < 3) c->submit(100.0, chain);
+  };
+  c->submit(100.0, chain);
+  sim.run_to_completion();
+  EXPECT_EQ(completions, 3);
+  EXPECT_EQ(sim.now(), 300);
+  EXPECT_EQ(c->jobs_completed(), 3u);
+}
+
+TEST(ContainerTest, BusyCoresCapped) {
+  Simulator sim;
+  auto c = make_container(sim, 2);
+  for (int i = 0; i < 5; ++i) c->submit(1000.0, []() {});
+  EXPECT_EQ(c->active_jobs(), 5);
+  EXPECT_DOUBLE_EQ(c->busy_cores(), 2.0);
+  sim.run_to_completion();
+  EXPECT_EQ(c->active_jobs(), 0);
+  EXPECT_DOUBLE_EQ(c->busy_cores(), 0.0);
+}
+
+TEST(ContainerTest, BusyCoreSecondsAccumulate) {
+  Simulator sim;
+  auto c = make_container(sim, 1);
+  c->submit(1'000'000.0, []() {});  // 1ms of work on 1 core
+  sim.run_to_completion();
+  c->sync();
+  EXPECT_NEAR(c->busy_core_seconds(), 0.001, 1e-6);
+}
+
+TEST(ContainerTest, EnergyChargedForBusyTime) {
+  Simulator sim;
+  auto c = make_container(sim, 1);
+  c->submit(static_cast<double>(kSecond), []() {});
+  sim.run_to_completion();
+  c->sync();
+  // 1 core-second busy at ref frequency.
+  EnergyModel e;
+  DvfsModel d;
+  EXPECT_NEAR(c->energy_joules(), e.busy_core_watts(d.ref_mhz, d.ref_mhz),
+              0.01);
+}
+
+TEST(ContainerTest, IdleAllocatedCoresDrawPower) {
+  Simulator sim;
+  auto c = make_container(sim, 4);
+  sim.run_until(kSecond);
+  c->sync();
+  // 4 allocated, 0 busy for 1 second.
+  EnergyModel e;
+  EXPECT_NEAR(c->energy_joules(), 4.0 * e.allocated_idle_watts, 0.01);
+}
+
+TEST(ContainerTest, CoreTimelineTracksChanges) {
+  Simulator sim;
+  auto c = make_container(sim, 2);
+  sim.schedule_at(100, [&]() { c->set_cores(4); });
+  sim.schedule_at(200, [&]() { c->set_cores(1); });
+  sim.run_to_completion();
+  EXPECT_DOUBLE_EQ(c->core_timeline().at(50), 2.0);
+  EXPECT_DOUBLE_EQ(c->core_timeline().at(150), 4.0);
+  EXPECT_DOUBLE_EQ(c->core_timeline().at(250), 1.0);
+}
+
+TEST(ContainerTest, FreqTimelineQuantized) {
+  Simulator sim;
+  auto c = make_container(sim, 1);
+  sim.schedule_at(10, [&]() { c->set_frequency(2357); });
+  sim.run_to_completion();
+  EXPECT_DOUBLE_EQ(c->freq_timeline().at(20), 2300.0);
+  EXPECT_EQ(c->frequency(), 2300);
+}
+
+// Property sweep: N jobs, k cores -> total completion time of the batch is
+// total_work / min(N, k) (all jobs equal, ignoring rounding).
+class PsBatchTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PsBatchTest, BatchMakespanMatchesCapacity) {
+  const int jobs = std::get<0>(GetParam());
+  const int cores = std::get<1>(GetParam());
+  Simulator sim;
+  auto c = make_container(sim, cores);
+  int done = 0;
+  for (int i = 0; i < jobs; ++i) {
+    c->submit(1000.0, [&]() { ++done; });
+  }
+  sim.run_to_completion();
+  EXPECT_EQ(done, jobs);
+  const double expected =
+      1000.0 * jobs / std::min(jobs, cores);
+  EXPECT_NEAR(static_cast<double>(sim.now()), expected, expected * 0.01 + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    JobCoreGrid, PsBatchTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 7, 16),
+                       ::testing::Values(1, 2, 3, 8)));
+
+}  // namespace
+}  // namespace sg

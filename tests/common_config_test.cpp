@@ -1,0 +1,120 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sg {
+namespace {
+
+TEST(ConfigTest, ParsesKeyValues) {
+  auto cfg = Config::parse("a = 1\nb = hello\nc=2.5\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->get_int("a"), 1);
+  EXPECT_EQ(cfg->get_string("b"), "hello");
+  EXPECT_DOUBLE_EQ(cfg->get_double("c"), 2.5);
+}
+
+TEST(ConfigTest, SectionsPrefixKeys) {
+  auto cfg = Config::parse(
+      "[service.nginx]\ncores = 2\n[service.redis]\ncores = 1\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->get_int("service.nginx.cores"), 2);
+  EXPECT_EQ(cfg->get_int("service.redis.cores"), 1);
+}
+
+TEST(ConfigTest, CommentsAndBlankLines) {
+  auto cfg = Config::parse(
+      "# full-line comment\n\na = 1  # trailing comment\n   \n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->get_int("a"), 1);
+  EXPECT_EQ(cfg->size(), 1u);
+}
+
+TEST(ConfigTest, WhitespaceTrimmed) {
+  auto cfg = Config::parse("   key   =    value with spaces   \n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->get_string("key"), "value with spaces");
+}
+
+TEST(ConfigTest, MalformedLineFails) {
+  std::string err;
+  EXPECT_FALSE(Config::parse("just a line without equals\n", &err).has_value());
+  EXPECT_NE(err.find("line 1"), std::string::npos);
+}
+
+TEST(ConfigTest, UnterminatedSectionFails) {
+  std::string err;
+  EXPECT_FALSE(Config::parse("[broken\n", &err).has_value());
+}
+
+TEST(ConfigTest, EmptyKeyFails) {
+  EXPECT_FALSE(Config::parse(" = value\n").has_value());
+}
+
+TEST(ConfigTest, DefaultsWhenMissing) {
+  auto cfg = Config::parse("");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->get_int("nope", 42), 42);
+  EXPECT_DOUBLE_EQ(cfg->get_double("nope", 1.5), 1.5);
+  EXPECT_EQ(cfg->get_string("nope", "d"), "d");
+  EXPECT_TRUE(cfg->get_bool("nope", true));
+}
+
+TEST(ConfigTest, BoolParsing) {
+  auto cfg = Config::parse(
+      "t1 = true\nt2 = 1\nt3 = yes\nt4 = on\nf1 = false\nf2 = 0\nf3 = no\n"
+      "junk = maybe\n");
+  ASSERT_TRUE(cfg.has_value());
+  for (const char* k : {"t1", "t2", "t3", "t4"}) EXPECT_TRUE(cfg->get_bool(k));
+  for (const char* k : {"f1", "f2", "f3"}) EXPECT_FALSE(cfg->get_bool(k, true));
+  EXPECT_TRUE(cfg->get_bool("junk", true));  // unparsable -> default
+}
+
+TEST(ConfigTest, TypeMismatchFallsBack) {
+  auto cfg = Config::parse("s = notanumber\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->get_int("s", -1), -1);
+  EXPECT_FALSE(cfg->try_get_int("s").has_value());
+  EXPECT_FALSE(cfg->try_get_double("s").has_value());
+}
+
+TEST(ConfigTest, TryGetParsesStrictly) {
+  auto cfg = Config::parse("x = 12\ny = 3.5\nz = 12abc\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->try_get_int("x").value(), 12);
+  EXPECT_DOUBLE_EQ(cfg->try_get_double("y").value(), 3.5);
+  EXPECT_FALSE(cfg->try_get_int("z").has_value());  // trailing junk
+}
+
+TEST(ConfigTest, KeysWithPrefix) {
+  auto cfg = Config::parse(
+      "service.a.x = 1\nservice.b.x = 2\nother = 3\nservice.c = 4\n");
+  ASSERT_TRUE(cfg.has_value());
+  const auto keys = cfg->keys_with_prefix("service.");
+  EXPECT_EQ(keys.size(), 3u);
+}
+
+TEST(ConfigTest, SetAndRoundTrip) {
+  Config cfg;
+  cfg.set("b", "2");
+  cfg.set("a", "1");
+  const std::string text = cfg.to_string();
+  auto reparsed = Config::parse(text);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->get_int("a"), 1);
+  EXPECT_EQ(reparsed->get_int("b"), 2);
+}
+
+TEST(ConfigTest, LastWriterWins) {
+  auto cfg = Config::parse("a = 1\na = 2\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->get_int("a"), 2);
+}
+
+TEST(ConfigTest, LoadMissingFileFails) {
+  std::string err;
+  EXPECT_FALSE(Config::load("/nonexistent/path/config", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace sg

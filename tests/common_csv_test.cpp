@@ -1,0 +1,76 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sg {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/sg_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesRows) {
+  {
+    CsvWriter w(path_);
+    ASSERT_TRUE(w.ok());
+    w.write_row({"a", "b", "c"});
+    w.write_row({"1", "2", "3"});
+  }
+  EXPECT_EQ(read_file(path_), "a,b,c\n1,2,3\n");
+}
+
+TEST_F(CsvTest, StreamingCells) {
+  {
+    CsvWriter w(path_);
+    w.cell("name").cell(2.5).cell(7LL).cell(3);
+    w.end_row();
+  }
+  EXPECT_EQ(read_file(path_), "name,2.500000,7,3\n");
+}
+
+TEST_F(CsvTest, DestructorFlushesPendingRow) {
+  {
+    CsvWriter w(path_);
+    w.cell("dangling");
+    // no end_row(): the destructor must not lose the cell
+  }
+  EXPECT_EQ(read_file(path_), "dangling\n");
+}
+
+TEST(CsvEscapeTest, PlainPassThrough) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+}
+
+TEST(CsvEscapeTest, CommasQuoted) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuotesDoubled) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, NewlinesQuoted) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(FmtDoubleTest, Precision) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(1.0, 0), "1");
+  EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,79 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sg {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/sg_log_test.log";
+    std::remove(path_.c_str());
+    Logger::instance().set_file(path_);
+    saved_level_ = Logger::instance().level();
+  }
+  void TearDown() override {
+    Logger::instance().set_file("");
+    Logger::instance().set_level(saved_level_);
+    std::remove(path_.c_str());
+  }
+  std::string path_;
+  LogLevel saved_level_ = LogLevel::Warn;
+};
+
+TEST_F(LoggingTest, LevelFiltering) {
+  Logger::instance().set_level(LogLevel::Warn);
+  SG_DEBUG << "hidden debug";
+  SG_INFO << "hidden info";
+  SG_WARN << "visible warn";
+  SG_ERROR << "visible error";
+  const std::string log = read_file(path_);
+  EXPECT_EQ(log.find("hidden"), std::string::npos);
+  EXPECT_NE(log.find("visible warn"), std::string::npos);
+  EXPECT_NE(log.find("visible error"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DebugLevelShowsEverything) {
+  Logger::instance().set_level(LogLevel::Debug);
+  SG_DEBUG << "dbg " << 42 << " " << 1.5;
+  const std::string log = read_file(path_);
+  EXPECT_NE(log.find("dbg 42 1.5"), std::string::npos);
+  EXPECT_NE(log.find("[DEBUG]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesAll) {
+  Logger::instance().set_level(LogLevel::Off);
+  SG_ERROR << "nope";
+  EXPECT_EQ(read_file(path_).find("nope"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LogEnabledGuardAvoidsFormatting) {
+  Logger::instance().set_level(LogLevel::Error);
+  EXPECT_FALSE(log_enabled(LogLevel::Debug));
+  EXPECT_FALSE(log_enabled(LogLevel::Warn));
+  EXPECT_TRUE(log_enabled(LogLevel::Error));
+  // The streaming payload must not be evaluated when filtered: the macro's
+  // short-circuit guard skips the LogLine entirely.
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  SG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,49 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sg {
+namespace {
+
+using namespace sg::literals;
+
+TEST(TimeTest, LiteralsScale) {
+  EXPECT_EQ(1_ns, 1);
+  EXPECT_EQ(1_us, 1'000);
+  EXPECT_EQ(1_ms, 1'000'000);
+  EXPECT_EQ(1_s, 1'000'000'000);
+  EXPECT_EQ(2_s + 500_ms, 2'500'000'000);
+}
+
+TEST(TimeTest, ConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(1_s), 1.0);
+  EXPECT_DOUBLE_EQ(to_millis(1_s), 1000.0);
+  EXPECT_DOUBLE_EQ(to_micros(1_ms), 1000.0);
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000);
+  EXPECT_EQ(from_seconds(to_seconds(123'456'789)), 123'456'789);
+}
+
+TEST(TimeTest, FromSecondsRounds) {
+  // 0.1234567891 s = 123456789.1 ns -> rounds to nearest integer ns.
+  EXPECT_EQ(from_seconds(0.0000000015), 2);
+}
+
+TEST(TimeTest, FormatPicksUnits) {
+  EXPECT_EQ(format_time(500), "500ns");
+  EXPECT_EQ(format_time(1'500), "1.50us");
+  EXPECT_EQ(format_time(2'500'000), "2.50ms");
+  EXPECT_EQ(format_time(3'250'000'000), "3.250s");
+}
+
+TEST(TimeTest, FormatNegative) {
+  EXPECT_EQ(format_time(-1'500), "-1.50us");
+  EXPECT_EQ(format_time(-2'500'000), "-2.50ms");
+}
+
+TEST(TimeTest, InfinityIsMax) {
+  EXPECT_EQ(kTimeInfinity, INT64_MAX);
+  EXPECT_GT(kTimeInfinity, 1000000 * kSecond);
+}
+
+}  // namespace
+}  // namespace sg

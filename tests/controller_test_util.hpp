@@ -1,0 +1,86 @@
+// Shared harness for controller unit tests: a tiny two-service application
+// (the paper's Fig. 5 c1->c2 setup) with direct access to the metrics bus,
+// so tests can inject crafted snapshots and observe allocation decisions
+// without running full workloads.
+#pragma once
+
+#include <memory>
+
+#include "app/application.hpp"
+#include "controllers/controller.hpp"
+#include "workload/load_generator.hpp"
+
+namespace sg::testutil {
+
+struct ControllerTestbed {
+  Simulator sim{3};
+  Cluster cluster{sim};
+  Network network{sim};
+  MetricsPlane metrics{1};
+  std::unique_ptr<Application> app;
+
+  /// c1 -> c2 chain; pool_size < 0 for connection-per-request.
+  explicit ControllerTestbed(int pool_size = 8, int initial_cores = 2,
+                             int node_cores = 40) {
+    cluster.add_node(node_cores, 19);
+    AppSpec spec;
+    spec.name = "fig5";
+    ServiceSpec c1, c2;
+    c1.name = "c1";
+    c1.work_ns_mean = 100'000;
+    c1.work_sigma = 0.0;
+    c1.children = {1};
+    c2.name = "c2";
+    c2.work_ns_mean = 100'000;
+    c2.work_sigma = 0.0;
+    spec.services = {c1, c2};
+    spec.threading = pool_size < 0 ? ThreadingModel::kConnectionPerRequest
+                                   : ThreadingModel::kFixedThreadPool;
+    spec.threadpool_size = pool_size < 0 ? 512 : pool_size;
+    if (pool_size < 0) {
+      spec.pool_sizes = {{-1}, {}};
+    } else {
+      spec.pool_sizes = {{pool_size}, {}};
+    }
+    Deployment dep = Deployment::single_node(spec, 0, initial_cores);
+    app = std::make_unique<Application>(cluster, network, metrics,
+                                        std::move(spec), dep);
+  }
+
+  Container& c1() { return app->service_container(0); }
+  Container& c2() { return app->service_container(1); }
+
+  ControllerEnv env(double expected_exec_us = 300.0) {
+    ControllerEnv e;
+    e.sim = &sim;
+    e.cluster = &cluster;
+    e.node = &cluster.node(0);
+    e.bus = &metrics.node_bus(0);
+    e.app = app.get();
+    e.topology = app->topology();
+    ContainerTargets t;
+    t.expected_exec_metric_ns = expected_exec_us * 1000.0;
+    t.expected_time_from_start = 200 * kMicrosecond;
+    e.targets.per_container[c1().id()] = t;
+    e.targets.per_container[c2().id()] = t;
+    e.targets.expected_e2e_latency = 500 * kMicrosecond;
+    return e;
+  }
+
+  /// Publishes a crafted snapshot for a container.
+  void publish(Container& c, double exec_time_us, double exec_metric_us,
+               bool hint = false, long visits = 100) {
+    MetricsSnapshot s;
+    s.container = c.id();
+    s.window_end = sim.now();
+    s.visits = visits;
+    s.avg_exec_time_ns = exec_time_us * 1000.0;
+    s.avg_exec_metric_ns = exec_metric_us * 1000.0;
+    s.avg_conn_wait_ns = (exec_time_us - exec_metric_us) * 1000.0;
+    s.queue_buildup = exec_metric_us > 0 ? exec_time_us / exec_metric_us : 1e6;
+    s.upscale_hint_received = hint;
+    metrics.node_bus(0).publish(s);
+  }
+};
+
+}  // namespace sg::testutil

@@ -1,0 +1,230 @@
+#include "controllers/escalator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controller_test_util.hpp"
+
+namespace sg {
+namespace {
+
+using testutil::ControllerTestbed;
+
+Escalator::Options fast_opts() {
+  Escalator::Options o;
+  o.interval = 100 * kMillisecond;
+  return o;
+}
+
+TEST(EscalatorTest, ExecMetricViolationScoresContainer) {
+  ControllerTestbed tb;
+  Escalator esc(tb.env(300.0), fast_opts());
+  tb.publish(tb.c1(), 600.0, 600.0);  // execMetric 2x the 300us target
+  tb.publish(tb.c2(), 100.0, 100.0);
+  esc.tick();
+  EXPECT_EQ(esc.last_scores().at(tb.c1().id()), 1);
+  EXPECT_EQ(esc.last_scores().count(tb.c2().id()), 0u);
+  EXPECT_EQ(tb.c1().cores(), 4);
+}
+
+TEST(EscalatorTest, QueueBuildupScoresDownstreamNotSelf) {
+  // Table II row 2: queueBuildup violation at c1 -> candidate is c2.
+  ControllerTestbed tb;
+  Escalator esc(tb.env(300.0), fast_opts());
+  // execMetric at c1 healthy (200 < 300) but queueBuildup 3x.
+  tb.publish(tb.c1(), 600.0, 200.0);
+  tb.publish(tb.c2(), 150.0, 150.0);
+  esc.tick();
+  EXPECT_EQ(esc.last_scores().count(tb.c1().id()), 0u);
+  EXPECT_EQ(esc.last_scores().at(tb.c2().id()), 1);
+  EXPECT_EQ(tb.c2().cores(), 4);  // root cause upscaled
+  EXPECT_EQ(tb.c1().cores(), 2);  // queue holder left alone
+}
+
+TEST(EscalatorTest, QueueBuildupSetsUpscaleStamp) {
+  ControllerTestbed tb;
+  Escalator esc(tb.env(300.0), fast_opts());
+  tb.publish(tb.c1(), 600.0, 200.0);
+  tb.publish(tb.c2(), 150.0, 150.0);
+  esc.tick();
+  // The stamp materializes on outgoing packets: run one request and check
+  // c2 received the hint.
+  tb.network.register_client_receiver([](const RpcPacket&) {});
+  RpcPacket pkt;
+  pkt.request_id = 1;
+  pkt.dst_container = tb.app->entry_container();
+  pkt.dst_node = tb.app->entry_node();
+  pkt.start_time = tb.sim.now();
+  tb.network.send(kClientNode, pkt);
+  tb.sim.run_to_completion();
+  ContainerRuntimeMetrics& m = const_cast<ContainerRuntimeMetrics&>(
+      tb.app->runtime_metrics(tb.c2().id()));
+  EXPECT_TRUE(m.flush(tb.sim.now()).upscale_hint_received);
+}
+
+TEST(EscalatorTest, HintReceivedScoresContainer) {
+  // Table II row 1: pkt.upscale > 0 -> the receiving container.
+  ControllerTestbed tb;
+  Escalator esc(tb.env(300.0), fast_opts());
+  tb.publish(tb.c1(), 100.0, 100.0);
+  tb.publish(tb.c2(), 150.0, 150.0, /*hint=*/true);
+  esc.tick();
+  EXPECT_EQ(esc.last_scores().at(tb.c2().id()), 1);
+  EXPECT_EQ(tb.c2().cores(), 4);
+}
+
+TEST(EscalatorTest, ScoresAccumulateAcrossChecks) {
+  ControllerTestbed tb;
+  Escalator esc(tb.env(300.0), fast_opts());
+  tb.publish(tb.c1(), 900.0, 300.5);        // queue buildup ~3 (downstream c2)
+  tb.publish(tb.c2(), 700.0, 700.0, true);  // hint + execMetric violation
+  esc.tick();
+  EXPECT_EQ(esc.last_scores().at(tb.c2().id()), 3);  // hint + queue + exec
+}
+
+TEST(EscalatorTest, HigherScoreWinsScarcePool) {
+  ControllerTestbed tb(8, 2, 25);  // 2 free logical cores only
+  Escalator esc(tb.env(300.0), fast_opts());
+  tb.publish(tb.c1(), 600.0, 600.0);        // score 1
+  tb.publish(tb.c2(), 700.0, 700.0, true);  // score 2
+  esc.tick();
+  EXPECT_EQ(tb.c2().cores(), 4);
+  EXPECT_EQ(tb.c1().cores(), 2);
+}
+
+TEST(EscalatorTest, SensitivityBreaksScoreTies) {
+  ControllerTestbed tb(8, 2, 25);
+  Escalator::Options opts = fast_opts();
+  Escalator esc(tb.env(300.0), opts);
+  // Teach the tracker: c1 insensitive (same exec at 2 vs 3 cores), c2
+  // sensitive (halves).
+  for (int i = 0; i < 3; ++i) {
+    tb.c1().set_cores(2);
+    tb.publish(tb.c1(), 100.0, 100.0);
+    tb.publish(tb.c2(), 100.0, 100.0);
+    esc.tick();
+    // Feed the alternative allocations directly via observe-through-tick:
+  }
+  // Manually shape execAvg: exploit that observe() runs each tick at the
+  // CURRENT core count.
+  tb.c1().set_cores(3);
+  tb.publish(tb.c1(), 100.0, 99.0);  // flat at 3 cores
+  tb.publish(tb.c2(), 100.0, 100.0);
+  esc.tick();
+  tb.c2().set_cores(3);
+  tb.publish(tb.c1(), 100.0, 100.0);
+  tb.publish(tb.c2(), 100.0, 50.0);  // steep at 3 cores
+  esc.tick();
+  tb.c1().set_cores(2);
+  tb.c2().set_cores(2);
+  // Both violate equally (score 1 each); pool has 2 logical cores.
+  tb.publish(tb.c1(), 600.0, 600.0);
+  tb.publish(tb.c2(), 600.0, 600.0);
+  esc.tick();
+  // c2 has higher observed sensitivity at its current allocation.
+  EXPECT_EQ(tb.c2().cores(), 4);
+  EXPECT_EQ(tb.c1().cores(), 2);
+}
+
+TEST(EscalatorTest, AblationMetricsOffUsesExecTime) {
+  // With use_new_metrics=false, the controller regresses to Parties'
+  // signal: the queue holder gets the cores.
+  ControllerTestbed tb;
+  Escalator::Options opts = fast_opts();
+  opts.use_new_metrics = false;
+  Escalator esc(tb.env(300.0), opts);
+  tb.publish(tb.c1(), 900.0, 150.0);  // all conn wait
+  tb.publish(tb.c2(), 150.0, 150.0);
+  esc.tick();
+  EXPECT_EQ(tb.c1().cores(), 4);  // mis-attributed, as Parties would
+  EXPECT_EQ(tb.c2().cores(), 2);
+}
+
+TEST(EscalatorTest, AblationSensitivityOffIgnoresTracker) {
+  ControllerTestbed tb;
+  Escalator::Options opts = fast_opts();
+  opts.use_sensitivity = false;
+  Escalator esc(tb.env(300.0), opts);
+  tb.publish(tb.c1(), 600.0, 600.0);
+  esc.tick();
+  EXPECT_EQ(esc.sensitivity().cells(), 0u);  // tracker never fed
+}
+
+TEST(EscalatorTest, PartiesDownscaleOnScoreZero) {
+  ControllerTestbed tb;
+  Escalator::Options opts = fast_opts();
+  opts.downscale_hold = 2;
+  Escalator esc(tb.env(300.0), opts);
+  tb.c1().set_cores(6);
+  for (int i = 0; i < 2; ++i) {
+    tb.sim.run_until(tb.sim.now() + 100 * kMillisecond);
+    tb.publish(tb.c1(), 100.0, 100.0);  // deep slack (ratio 0.33)
+    tb.publish(tb.c2(), 200.0, 200.0);
+    esc.tick();
+  }
+  EXPECT_EQ(tb.c1().cores(), 4);
+}
+
+TEST(EscalatorTest, NoCoreSlackJudgementWhileBoosted) {
+  ControllerTestbed tb;
+  Escalator::Options opts = fast_opts();
+  opts.downscale_hold = 1;
+  Escalator esc(tb.env(300.0), opts);
+  tb.c1().set_cores(6);
+  tb.c1().set_frequency(3100);
+  tb.publish(tb.c1(), 100.0, 100.0);
+  tb.publish(tb.c2(), 200.0, 200.0);
+  esc.tick();
+  // Frequency stepped down, cores untouched (low exec bought by the boost).
+  EXPECT_EQ(tb.c1().cores(), 6);
+  EXPECT_LT(tb.c1().frequency(), 3100);
+}
+
+TEST(EscalatorTest, SensRevocationOnlyWhenAllCandidates) {
+  ControllerTestbed tb;
+  Escalator::Options opts = fast_opts();
+  opts.sens_revoke_period_ticks = 1;
+  Escalator esc(tb.env(300.0), opts);
+  auto advance = [&]() { tb.sim.run_until(tb.sim.now() + 100 * kMillisecond); };
+  // Teach flat sensitivity for c1 around 4 cores (calm rows: exec below the
+  // 300us target so no tick upscales during teaching).
+  tb.c1().set_cores(3);
+  advance();
+  tb.publish(tb.c1(), 250.0, 250.0);
+  tb.publish(tb.c2(), 200.0, 200.0);
+  esc.tick();
+  tb.c1().set_cores(4);
+  advance();
+  tb.publish(tb.c1(), 250.0, 249.0);
+  tb.publish(tb.c2(), 200.0, 200.0);
+  esc.tick();
+  ASSERT_EQ(tb.c1().cores(), 4);
+  // Case 1: c2 calm (score 0 exists) -> sens revocation must NOT fire.
+  advance();
+  tb.publish(tb.c1(), 700.0, 650.0);  // violating and flat
+  tb.publish(tb.c2(), 100.0, 100.0);  // calm
+  esc.tick();
+  EXPECT_GE(tb.c1().cores(), 4);
+  // Case 2: both candidates -> sens revocation fires on flat c1. Start c1
+  // at 2 so the in-tick grant lands it on 4, where sens[3] is known-flat:
+  // the revocation takes the step straight back.
+  tb.c1().set_cores(2);
+  advance();
+  tb.publish(tb.c1(), 700.0, 400.0);  // candidate, flat curve at 3->4
+  tb.publish(tb.c2(), 700.0, 700.0);  // candidate
+  esc.tick();
+  EXPECT_EQ(tb.c1().cores(), 2);  // granted to 4, then sens-revoked to 2
+}
+
+TEST(EscalatorTest, FrequencyFallbackWhenPoolDry) {
+  ControllerTestbed tb(8, 3, 25);  // app 6, 3+3 allocated -> free 0
+  Escalator esc(tb.env(300.0), fast_opts());
+  const FreqMhz f0 = tb.c1().frequency();
+  tb.publish(tb.c1(), 900.0, 900.0);
+  tb.publish(tb.c2(), 200.0, 200.0);
+  esc.tick();
+  EXPECT_EQ(tb.c1().cores(), 3);      // nothing to grant
+  EXPECT_GT(tb.c1().frequency(), f0); // boosted instead
+}
+
+}  // namespace
+}  // namespace sg

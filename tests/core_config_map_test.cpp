@@ -1,0 +1,153 @@
+#include "core/config_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sg {
+namespace {
+
+Config parse(const std::string& text) {
+  auto cfg = Config::parse(text);
+  EXPECT_TRUE(cfg.has_value());
+  return *cfg;
+}
+
+TEST(ConfigMapTest, ControllerNames) {
+  EXPECT_EQ(controller_from_string("surgeguard"), ControllerKind::kSurgeGuard);
+  EXPECT_EQ(controller_from_string("parties"), ControllerKind::kParties);
+  EXPECT_EQ(controller_from_string("caladan"), ControllerKind::kCaladan);
+  EXPECT_EQ(controller_from_string("escalator"), ControllerKind::kEscalator);
+  EXPECT_EQ(controller_from_string("ideal"), ControllerKind::kIdealOracle);
+  EXPECT_EQ(controller_from_string("centralized-ml"),
+            ControllerKind::kCentralizedML);
+  EXPECT_EQ(controller_from_string("ml+surgeguard"),
+            ControllerKind::kMLPlusSurgeGuard);
+  EXPECT_FALSE(controller_from_string("bogus").has_value());
+}
+
+TEST(ConfigMapTest, DefaultsApply) {
+  std::string err;
+  const auto cfg = experiment_from_config(parse(""), &err);
+  ASSERT_TRUE(cfg.has_value()) << err;
+  EXPECT_EQ(cfg->workload.action, "chain");
+  EXPECT_EQ(cfg->controller, ControllerKind::kSurgeGuard);
+  EXPECT_EQ(cfg->nodes, 1);
+  EXPECT_EQ(cfg->warmup, 5 * kSecond);
+  EXPECT_EQ(cfg->duration, 30 * kSecond);
+  EXPECT_DOUBLE_EQ(cfg->surge_mult, 1.75);
+  EXPECT_FALSE(cfg->membw.has_value());
+  EXPECT_EQ(cfg->net_delay_extra, 0);
+}
+
+TEST(ConfigMapTest, FullConfigRoundTrip) {
+  const auto cfg = experiment_from_config(parse(R"(
+workload = readUserTimeline
+controller = parties
+nodes = 2
+warmup_s = 3
+duration_s = 12
+qos_mult = 2.5
+seed = 99
+[surge]
+mult = 1.5
+len_ms = 500
+period_s = 5
+[netdelay]
+extra_us = 250
+len_ms = 1000
+period_s = 8
+[membw]
+node_bw_gbs = 48
+demand_per_core_gbs = 5
+)"),
+                                          nullptr);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->workload.action, "readUserTimeline");
+  EXPECT_EQ(cfg->controller, ControllerKind::kParties);
+  EXPECT_EQ(cfg->nodes, 2);
+  EXPECT_EQ(cfg->warmup, 3 * kSecond);
+  EXPECT_EQ(cfg->duration, 12 * kSecond);
+  EXPECT_DOUBLE_EQ(cfg->qos_mult, 2.5);
+  EXPECT_EQ(cfg->seed, 99u);
+  EXPECT_DOUBLE_EQ(cfg->surge_mult, 1.5);
+  EXPECT_EQ(cfg->surge_len, 500 * kMillisecond);
+  EXPECT_EQ(cfg->surge_period, 5 * kSecond);
+  EXPECT_EQ(cfg->net_delay_extra, 250 * kMicrosecond);
+  EXPECT_EQ(cfg->net_delay_len, 1 * kSecond);
+  ASSERT_TRUE(cfg->membw.has_value());
+  EXPECT_DOUBLE_EQ(cfg->membw->node_bw_gbs, 48.0);
+  EXPECT_DOUBLE_EQ(cfg->membw->demand_per_busy_core_gbs, 5.0);
+}
+
+TEST(ConfigMapTest, UnknownWorkloadFails) {
+  std::string err;
+  EXPECT_FALSE(experiment_from_config(parse("workload = nope"), &err));
+  EXPECT_NE(err.find("unknown workload"), std::string::npos);
+}
+
+TEST(ConfigMapTest, UnknownControllerFails) {
+  std::string err;
+  EXPECT_FALSE(experiment_from_config(parse("controller = magic"), &err));
+  EXPECT_NE(err.find("unknown controller"), std::string::npos);
+}
+
+TEST(ConfigMapTest, InvalidValuesFail) {
+  EXPECT_FALSE(experiment_from_config(parse("nodes = 0"), nullptr));
+  EXPECT_FALSE(experiment_from_config(parse("duration_s = 0"), nullptr));
+  EXPECT_FALSE(
+      experiment_from_config(parse("[membw]\nnode_bw_gbs = -5"), nullptr));
+}
+
+TEST(ConfigMapTest, RateOverride) {
+  const auto cfg =
+      experiment_from_config(parse("workload = chain\nrate_rps = 5000"), nullptr);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_DOUBLE_EQ(cfg->workload.base_rate_rps, 5000.0);
+}
+
+TEST(ConfigMapTest, TargetOverrides) {
+  const WorkloadInfo w = make_chain();
+  TargetMap targets;
+  for (int i = 0; i < 5; ++i) {
+    targets.per_container[i] = ContainerTargets{1000.0, 1000};
+  }
+  const Config cfg = parse(R"(
+[service.chain-2]
+expected_exec_metric_us = 750
+expected_time_from_start_us = 425
+)");
+  const int overridden = apply_target_overrides(cfg, w, &targets);
+  EXPECT_EQ(overridden, 1);
+  EXPECT_DOUBLE_EQ(targets.of(2).expected_exec_metric_ns, 750'000.0);
+  EXPECT_EQ(targets.of(2).expected_time_from_start, 425'000);
+  // Others untouched.
+  EXPECT_DOUBLE_EQ(targets.of(1).expected_exec_metric_ns, 1000.0);
+}
+
+TEST(ConfigMapTest, PartialTargetOverride) {
+  const WorkloadInfo w = make_chain();
+  TargetMap targets;
+  targets.per_container[0] = ContainerTargets{1000.0, 2000};
+  const Config cfg = parse("[service.chain-0]\nexpected_exec_metric_us = 9\n");
+  apply_target_overrides(cfg, w, &targets);
+  EXPECT_DOUBLE_EQ(targets.of(0).expected_exec_metric_ns, 9000.0);
+  EXPECT_EQ(targets.of(0).expected_time_from_start, 2000);  // kept
+}
+
+TEST(ConfigMapTest, ConfiguredExperimentRuns) {
+  // End-to-end: a config-built experiment must run and produce results.
+  const auto cfg = experiment_from_config(parse(R"(
+workload = chain
+controller = static
+warmup_s = 1
+duration_s = 2
+[surge]
+len_ms = 0
+)"),
+                                          nullptr);
+  ASSERT_TRUE(cfg.has_value());
+  const ExperimentResult r = run_experiment(*cfg);
+  EXPECT_GT(r.load.completed, 0u);
+}
+
+}  // namespace
+}  // namespace sg

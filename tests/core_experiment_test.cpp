@@ -1,0 +1,191 @@
+// Experiment harness: profiling, end-to-end runs, determinism, sweeps.
+// These are the slowest tests in the suite (~seconds): each runs a real,
+// if shortened, simulation.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "core/sweep.hpp"
+
+namespace sg {
+namespace {
+
+using namespace sg::literals;
+
+ExperimentConfig short_config(ControllerKind kind, std::uint64_t seed = 7) {
+  ExperimentConfig cfg;
+  cfg.workload = make_chain();
+  cfg.controller = kind;
+  cfg.warmup = 2_s;
+  cfg.duration = 8_s;
+  cfg.surge_mult = 1.75;
+  cfg.surge_len = 1_s;
+  cfg.surge_period = 4_s;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ProfileTest, TargetsAreTwiceLowLoadValues) {
+  const WorkloadInfo w = make_chain();
+  const ProfileResult p2 = profile_workload(w, 1, 2.0);
+  const ProfileResult p4 = profile_workload(w, 1, 4.0);
+  ASSERT_EQ(p2.targets.per_container.size(), w.spec.services.size());
+  for (const auto& [id, t] : p2.targets.per_container) {
+    const auto& t4 = p4.targets.of(id);
+    EXPECT_NEAR(t4.expected_exec_metric_ns, 2.0 * t.expected_exec_metric_ns,
+                t.expected_exec_metric_ns * 0.01);
+  }
+  EXPECT_GT(p2.low_load_mean_latency, 0);
+  EXPECT_GE(p2.low_load_p98, p2.low_load_mean_latency);
+}
+
+TEST(ProfileTest, DeeperContainersExpectLaterArrival) {
+  // expectedTimeFromStart must grow along the chain.
+  const ProfileResult p = profile_workload(make_chain(), 1);
+  SimTime prev = -1;
+  for (int i = 0; i < 5; ++i) {
+    const SimTime tfs = p.targets.of(i).expected_time_from_start;
+    EXPECT_GT(tfs, prev) << "service " << i;
+    prev = tfs;
+  }
+}
+
+TEST(ExperimentTest, StaticRunProducesSaneResults) {
+  const ExperimentResult r = run_experiment(short_config(ControllerKind::kStatic));
+  EXPECT_GT(r.load.completed, 0u);
+  EXPECT_GT(r.load.p98, 0);
+  EXPECT_GT(r.avg_cores, 0.0);
+  EXPECT_GT(r.energy_joules, 0.0);
+  EXPECT_EQ(r.fr_boosts, 0u);  // no FirstResponder in a static run
+  EXPECT_EQ(r.measure_start, 2_s);
+  EXPECT_EQ(r.measure_end, 10_s);
+}
+
+TEST(ExperimentTest, StaticAllocationNeverChanges) {
+  ExperimentConfig cfg = short_config(ControllerKind::kStatic);
+  cfg.record_alloc_timelines = true;
+  const ExperimentResult r = run_experiment(cfg);
+  ASSERT_EQ(r.alloc_traces.size(), 5u);
+  for (const auto& trace : r.alloc_traces) {
+    for (const auto& pt : trace.cores) {
+      EXPECT_DOUBLE_EQ(pt.value, 2.0) << trace.name;
+    }
+  }
+}
+
+TEST(ExperimentTest, DeterministicForSameSeed) {
+  const ProfileResult profile = profile_workload(make_chain(), 1);
+  const ExperimentConfig cfg = short_config(ControllerKind::kSurgeGuard, 13);
+  const ExperimentResult a = run_experiment(cfg, profile);
+  const ExperimentResult b = run_experiment(cfg, profile);
+  EXPECT_EQ(a.load.completed, b.load.completed);
+  EXPECT_DOUBLE_EQ(a.load.violation_volume_ms_s, b.load.violation_volume_ms_s);
+  EXPECT_DOUBLE_EQ(a.avg_cores, b.avg_cores);
+  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_EQ(a.fr_boosts, b.fr_boosts);
+}
+
+TEST(ExperimentTest, SeedsChangeOutcomes) {
+  const ProfileResult profile = profile_workload(make_chain(), 1);
+  const ExperimentResult a =
+      run_experiment(short_config(ControllerKind::kStatic, 1), profile);
+  const ExperimentResult b =
+      run_experiment(short_config(ControllerKind::kStatic, 2), profile);
+  // Different seeds -> different service-time draws -> different results.
+  EXPECT_NE(a.load.violation_volume_ms_s, b.load.violation_volume_ms_s);
+}
+
+TEST(ExperimentTest, SurgeGuardBeatsStaticOnSurges) {
+  const ProfileResult profile = profile_workload(make_chain(), 1);
+  const ExperimentResult stat =
+      run_experiment(short_config(ControllerKind::kStatic), profile);
+  const ExperimentResult sg_res =
+      run_experiment(short_config(ControllerKind::kSurgeGuard), profile);
+  EXPECT_LT(sg_res.load.violation_volume_ms_s,
+            stat.load.violation_volume_ms_s);
+  EXPECT_GT(sg_res.fr_packets, 0u);
+}
+
+TEST(ExperimentTest, MultiNodeRunWorks) {
+  ExperimentConfig cfg = short_config(ControllerKind::kSurgeGuard);
+  cfg.nodes = 2;
+  const ProfileResult profile = profile_workload(cfg.workload, 2);
+  const ExperimentResult r = run_experiment(cfg, profile);
+  EXPECT_GT(r.load.completed, 0u);
+  // Surges must still be contained reasonably with per-node controllers.
+  EXPECT_GT(r.load.throughput_rps, 0.9 * cfg.workload.base_rate_rps);
+}
+
+TEST(ExperimentTest, PatternOverrideUsed) {
+  ExperimentConfig cfg = short_config(ControllerKind::kStatic);
+  cfg.pattern_override = SpikePattern::steady(cfg.workload.base_rate_rps * 0.5);
+  const ProfileResult profile = profile_workload(cfg.workload, 1);
+  const ExperimentResult r = run_experiment(cfg, profile);
+  // Half rate, no surges -> zero violations under the generous QoS.
+  EXPECT_DOUBLE_EQ(r.load.violation_volume_ms_s, 0.0);
+  EXPECT_NEAR(r.load.throughput_rps, cfg.workload.base_rate_rps * 0.5,
+              cfg.workload.base_rate_rps * 0.02);
+}
+
+TEST(ExperimentTest, LatencySeriesRecorded) {
+  ExperimentConfig cfg = short_config(ControllerKind::kStatic);
+  cfg.record_latency_series = true;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_FALSE(r.latency_series.empty());
+}
+
+TEST(ExperimentTest, MakePatternDerivesSurges) {
+  ExperimentConfig cfg = short_config(ControllerKind::kStatic);
+  const SpikePattern p = cfg.make_pattern();
+  EXPECT_TRUE(p.has_spikes());
+  EXPECT_DOUBLE_EQ(p.spike_rate_rps, cfg.workload.base_rate_rps * 1.75);
+  EXPECT_EQ(p.first_spike_at, cfg.warmup + cfg.first_surge_offset);
+  cfg.surge_len = 0;
+  EXPECT_FALSE(cfg.make_pattern().has_spikes());
+}
+
+TEST(SweepTest, TrimmedAggregation) {
+  ExperimentConfig cfg = short_config(ControllerKind::kStatic);
+  cfg.duration = 4_s;
+  const ProfileResult profile = profile_workload(cfg.workload, 1);
+  SweepOptions opts;
+  opts.replications = 5;
+  opts.trim = 1;
+  opts.threads = 1;
+  const RepStats stats = run_replicated(cfg, profile, opts);
+  EXPECT_EQ(stats.replications(), 5u);
+  EXPECT_DOUBLE_EQ(stats.vv, trimmed_mean(stats.violation_volume, 1));
+  EXPECT_DOUBLE_EQ(stats.cores, trimmed_mean(stats.avg_cores, 1));
+}
+
+TEST(SweepTest, ParallelMatchesSerial) {
+  // Replications are independent simulations; the thread count must not
+  // change any number.
+  ExperimentConfig cfg = short_config(ControllerKind::kParties);
+  cfg.duration = 3_s;
+  const ProfileResult profile = profile_workload(cfg.workload, 1);
+  SweepOptions serial;
+  serial.replications = 3;
+  serial.threads = 1;
+  SweepOptions parallel = serial;
+  parallel.threads = 3;
+  const RepStats a = run_replicated(cfg, profile, serial);
+  const RepStats b = run_replicated(cfg, profile, parallel);
+  ASSERT_EQ(a.violation_volume.size(), b.violation_volume.size());
+  for (std::size_t i = 0; i < a.violation_volume.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.violation_volume[i], b.violation_volume[i]);
+    EXPECT_DOUBLE_EQ(a.energy_joules[i], b.energy_joules[i]);
+  }
+}
+
+TEST(ControllerKindTest, Names) {
+  EXPECT_STREQ(to_string(ControllerKind::kParties), "Parties");
+  EXPECT_STREQ(to_string(ControllerKind::kCaladan), "CaladanAlgo");
+  EXPECT_STREQ(to_string(ControllerKind::kSurgeGuard), "SurgeGuard");
+  EXPECT_STREQ(to_string(ControllerKind::kEscalator), "Escalator");
+  EXPECT_STREQ(to_string(ControllerKind::kIdealOracle), "IdealOracle");
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,48 @@
+#include "core/reporting.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sg {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.render();
+  // Header, underline, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Columns align: "value" starts at the same offset in header as "22" row.
+  const std::size_t header_col = out.find("value");
+  const std::size_t row_line = out.find("longer-name");
+  const std::size_t row_col = out.find("22", row_line) - row_line;
+  EXPECT_EQ(header_col, row_col);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_EQ(t.rows().at(0).size(), 3u);
+}
+
+TEST(TablePrinterTest, NoTrailingSpaces) {
+  TablePrinter t({"x", "y"});
+  t.add_row({"1", "2"});
+  const std::string out = t.render();
+  std::size_t pos = 0;
+  while ((pos = out.find('\n', pos)) != std::string::npos) {
+    if (pos > 0) EXPECT_NE(out[pos - 1], ' ');
+    ++pos;
+  }
+}
+
+TEST(ReportingTest, FmtRatio) {
+  EXPECT_EQ(fmt_ratio(0.5), "0.50x");
+  EXPECT_EQ(fmt_ratio(1.0, 1), "1.0x");
+  EXPECT_EQ(fmt_ratio(12.345, 2), "12.35x");
+}
+
+}  // namespace
+}  // namespace sg

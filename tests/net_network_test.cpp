@@ -1,0 +1,172 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sg {
+namespace {
+
+RpcPacket make_packet(int dst_container, int dst_node) {
+  RpcPacket p;
+  p.request_id = 1;
+  p.dst_container = dst_container;
+  p.dst_node = dst_node;
+  return p;
+}
+
+TEST(NetworkTest, DeliversToRegisteredReceiver) {
+  Simulator sim;
+  Network net(sim);
+  int received = 0;
+  net.register_receiver(7, [&](const RpcPacket& p) {
+    EXPECT_EQ(p.dst_container, 7);
+    ++received;
+  });
+  net.send(0, make_packet(7, 0));
+  sim.run_to_completion();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(net.packets_delivered(), 1u);
+}
+
+TEST(NetworkTest, SameNodeFasterThanCrossNode) {
+  Simulator sim;
+  NetworkLatencyModel model;
+  model.jitter = 0.0;
+  Network net(sim, model);
+  SimTime same = 0, cross = 0;
+  net.register_receiver(1, [&](const RpcPacket&) { same = sim.now(); });
+  net.register_receiver(2, [&](const RpcPacket&) { cross = sim.now(); });
+  net.send(0, make_packet(1, 0));  // same node
+  net.send(0, make_packet(2, 1));  // cross node
+  sim.run_to_completion();
+  EXPECT_EQ(same, model.same_node_ns);
+  EXPECT_EQ(cross, model.cross_node_ns);
+}
+
+TEST(NetworkTest, JitterBoundsLatency) {
+  Simulator sim;
+  NetworkLatencyModel model;
+  model.jitter = 0.1;
+  Network net(sim, model);
+  std::vector<SimTime> deliveries;
+  SimTime sent_at = 0;
+  net.register_receiver(1, [&](const RpcPacket&) {
+    deliveries.push_back(sim.now() - sent_at);
+  });
+  for (int i = 0; i < 200; ++i) {
+    sent_at = sim.now();
+    net.send(0, make_packet(1, 0));
+    sim.run_to_completion();
+  }
+  for (SimTime d : deliveries) {
+    EXPECT_GE(d, static_cast<SimTime>(0.9 * static_cast<double>(model.same_node_ns)) - 1);
+    EXPECT_LE(d, static_cast<SimTime>(1.1 * static_cast<double>(model.same_node_ns)) + 1);
+  }
+}
+
+TEST(NetworkTest, ExtraDelayInjected) {
+  Simulator sim;
+  NetworkLatencyModel model;
+  model.jitter = 0.0;
+  Network net(sim, model);
+  SimTime at = 0;
+  net.register_receiver(1, [&](const RpcPacket&) { at = sim.now(); });
+  net.set_extra_delay(1 * kMillisecond);
+  net.send(0, make_packet(1, 0));
+  sim.run_to_completion();
+  EXPECT_EQ(at, model.same_node_ns + 1 * kMillisecond);
+}
+
+TEST(NetworkTest, ClientReceiverGetsResponses) {
+  Simulator sim;
+  Network net(sim);
+  int got = 0;
+  net.register_client_receiver([&](const RpcPacket& p) {
+    EXPECT_TRUE(p.is_response);
+    ++got;
+  });
+  RpcPacket p = make_packet(kClientEndpoint, kClientNode);
+  p.is_response = true;
+  net.send(0, p);
+  sim.run_to_completion();
+  EXPECT_EQ(got, 1);
+}
+
+class CountingHook : public RxHook {
+ public:
+  void on_packet(const RpcPacket& pkt) override {
+    seen.push_back(pkt.dst_container);
+  }
+  std::vector<int> seen;
+};
+
+TEST(NetworkTest, RxHookRunsBeforeReceiver) {
+  Simulator sim;
+  Network net(sim);
+  CountingHook hook;
+  std::vector<std::string> order;
+  net.add_rx_hook(0, &hook);
+  net.register_receiver(1, [&](const RpcPacket&) {
+    // The hook must already have seen the packet (netif_receive_skb runs
+    // before the destination container).
+    EXPECT_EQ(hook.seen.size(), 1u);
+    order.push_back("receiver");
+  });
+  net.send(0, make_packet(1, 0));
+  sim.run_to_completion();
+  EXPECT_EQ(order.size(), 1u);
+}
+
+TEST(NetworkTest, HookOnlyOnDestinationNode) {
+  Simulator sim;
+  Network net(sim);
+  CountingHook hook0, hook1;
+  net.add_rx_hook(0, &hook0);
+  net.add_rx_hook(1, &hook1);
+  net.register_receiver(1, [](const RpcPacket&) {});
+  net.register_receiver(2, [](const RpcPacket&) {});
+  net.send(0, make_packet(1, 0));
+  net.send(0, make_packet(2, 1));
+  sim.run_to_completion();
+  EXPECT_EQ(hook0.seen.size(), 1u);
+  EXPECT_EQ(hook1.seen.size(), 1u);
+  EXPECT_EQ(hook0.seen[0], 1);
+  EXPECT_EQ(hook1.seen[0], 2);
+}
+
+TEST(NetworkTest, MultipleHooksChainInOrder) {
+  Simulator sim;
+  Network net(sim);
+  CountingHook a, b;
+  net.add_rx_hook(0, &a);
+  net.add_rx_hook(0, &b);
+  net.register_receiver(1, [](const RpcPacket&) {});
+  net.send(0, make_packet(1, 0));
+  sim.run_to_completion();
+  EXPECT_EQ(a.seen.size(), 1u);
+  EXPECT_EQ(b.seen.size(), 1u);
+}
+
+TEST(NetworkTest, PacketMetadataPreserved) {
+  Simulator sim;
+  Network net(sim);
+  RpcPacket got;
+  net.register_receiver(3, [&](const RpcPacket& p) { got = p; });
+  RpcPacket sent = make_packet(3, 0);
+  sent.start_time = 12345;
+  sent.upscale = 2;
+  sent.call_id = 99;
+  sent.src_container = 8;
+  sent.src_node = 4;
+  net.send(4, sent);
+  sim.run_to_completion();
+  EXPECT_EQ(got.start_time, 12345);
+  EXPECT_EQ(got.upscale, 2);
+  EXPECT_EQ(got.call_id, 99u);
+  EXPECT_EQ(got.src_container, 8);
+  EXPECT_EQ(got.src_node, 4);
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,146 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sg {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulatorTest, ScheduleAfterAdvancesClock) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_after(100, [&]() { seen = sim.now(); });
+  sim.run_to_completion();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsolute) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.schedule_at(50, [&]() { seen.push_back(sim.now()); });
+  sim.schedule_at(25, [&]() { seen.push_back(sim.now()); });
+  sim.run_to_completion();
+  EXPECT_EQ(seen, (std::vector<SimTime>{25, 50}));
+}
+
+TEST(SimulatorTest, PastTimesClampToNow) {
+  Simulator sim;
+  sim.schedule_at(100, []() {});
+  sim.run_to_completion();
+  SimTime seen = -1;
+  sim.schedule_at(10, [&]() { seen = sim.now(); });  // in the past
+  sim.run_to_completion();
+  EXPECT_EQ(seen, 100);
+
+  sim.schedule_after(-5, [&]() { seen = sim.now(); });  // negative delay
+  sim.run_to_completion();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&]() { ++fired; });
+  sim.schedule_at(20, [&]() { ++fired; });
+  sim.schedule_at(30, [&]() { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);          // events at t<=20 fire
+  EXPECT_EQ(sim.now(), 20);     // clock lands exactly on the boundary
+  sim.run_until(35);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 35);     // clock reaches end even after queue drains
+}
+
+TEST(SimulatorTest, RunUntilWithEmptyQueueAdvancesClock) {
+  Simulator sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_after(1, []() {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, HandlersCanScheduleMore) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.schedule_after(10, [&]() {
+    seen.push_back(sim.now());
+    sim.schedule_after(5, [&]() { seen.push_back(sim.now()); });
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(seen, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimulatorTest, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_after(10, [&]() { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_to_completion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, EventsProcessedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_after(i, []() {});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(SimulatorTest, PeriodicRunsUntilFalse) {
+  Simulator sim;
+  int ticks = 0;
+  sim.schedule_periodic(100, 50, [&]() {
+    ++ticks;
+    return ticks < 4;
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(ticks, 4);
+  EXPECT_EQ(sim.now(), 100 + 3 * 50);
+}
+
+TEST(SimulatorTest, PeriodicFirstFiringAtStart) {
+  Simulator sim;
+  std::vector<SimTime> at;
+  sim.schedule_periodic(30, 10, [&]() {
+    at.push_back(sim.now());
+    return at.size() < 3;
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(at, (std::vector<SimTime>{30, 40, 50}));
+}
+
+TEST(SimulatorTest, PeriodicStopsWithPendingQueueDestruction) {
+  // A periodic that never returns false must not leak or crash when the
+  // simulator is destroyed with its next event pending.
+  auto sim = std::make_unique<Simulator>();
+  int ticks = 0;
+  sim->schedule_periodic(0, 10, [&]() {
+    ++ticks;
+    return true;
+  });
+  sim->run_until(100);
+  EXPECT_EQ(ticks, 11);
+  sim.reset();  // destruction with a live periodic event
+}
+
+TEST(SimulatorTest, RngIsSeedDeterministic) {
+  Simulator a(123), b(123);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.rng().next_u64(), b.rng().next_u64());
+}
+
+}  // namespace
+}  // namespace sg

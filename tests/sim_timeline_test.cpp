@@ -1,0 +1,132 @@
+#include "sim/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sg {
+namespace {
+
+TEST(TimelineTest, InitialValueHoldsEverywhere) {
+  StepTimeline t(5.0);
+  EXPECT_DOUBLE_EQ(t.at(0), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(1'000'000), 5.0);
+  EXPECT_DOUBLE_EQ(t.current(), 5.0);
+}
+
+TEST(TimelineTest, StepChangesValueFromTime) {
+  StepTimeline t(1.0);
+  t.set(100, 3.0);
+  EXPECT_DOUBLE_EQ(t.at(99), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(100), 3.0);
+  EXPECT_DOUBLE_EQ(t.at(500), 3.0);
+  EXPECT_DOUBLE_EQ(t.current(), 3.0);
+}
+
+TEST(TimelineTest, SameTimeOverwrites) {
+  StepTimeline t(0.0);
+  t.set(100, 1.0);
+  t.set(100, 2.0);
+  EXPECT_DOUBLE_EQ(t.at(100), 2.0);
+  EXPECT_EQ(t.points().size(), 2u);
+}
+
+TEST(TimelineTest, RedundantTransitionsCollapse) {
+  StepTimeline t(2.0);
+  t.set(50, 2.0);  // no-op transition
+  EXPECT_EQ(t.points().size(), 1u);
+}
+
+TEST(TimelineTest, IntegrateConstant) {
+  StepTimeline t(4.0);
+  EXPECT_DOUBLE_EQ(t.integrate(0, 100), 400.0);
+  EXPECT_DOUBLE_EQ(t.integrate(50, 150), 400.0);
+}
+
+TEST(TimelineTest, IntegratePiecewise) {
+  StepTimeline t(1.0);
+  t.set(10, 3.0);
+  t.set(20, 0.0);
+  // [0,10): 1.0, [10,20): 3.0, [20,..): 0
+  EXPECT_DOUBLE_EQ(t.integrate(0, 30), 10.0 + 30.0 + 0.0);
+  EXPECT_DOUBLE_EQ(t.integrate(5, 15), 5.0 + 15.0);
+  EXPECT_DOUBLE_EQ(t.integrate(25, 30), 0.0);
+}
+
+TEST(TimelineTest, IntegrateEmptyRange) {
+  StepTimeline t(9.0);
+  EXPECT_DOUBLE_EQ(t.integrate(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(t.integrate(10, 5), 0.0);
+}
+
+TEST(TimelineTest, AverageIsTimeWeighted) {
+  StepTimeline t(0.0);
+  t.set(50, 10.0);
+  // [0,50) value 0, [50,100) value 10 -> average 5 over [0,100)
+  EXPECT_DOUBLE_EQ(t.average(0, 100), 5.0);
+}
+
+TEST(TimelineTest, AverageDegenerateRange) {
+  StepTimeline t(3.0);
+  t.set(10, 7.0);
+  EXPECT_DOUBLE_EQ(t.average(20, 20), 7.0);
+}
+
+TEST(TimelineTest, IntegrateAboveThreshold) {
+  // The violation-volume primitive: area above the QoS line only.
+  StepTimeline t(1.0);
+  t.set(10, 5.0);
+  t.set(20, 2.0);
+  // threshold 2: [0,10) contributes 0 (1<2), [10,20) contributes (5-2)*10,
+  // [20,30) contributes 0 (2 == threshold).
+  EXPECT_DOUBLE_EQ(t.integrate_above(0, 30, 2.0), 30.0);
+}
+
+TEST(TimelineTest, IntegrateAboveAllBelow) {
+  StepTimeline t(1.0);
+  EXPECT_DOUBLE_EQ(t.integrate_above(0, 1000, 5.0), 0.0);
+}
+
+TEST(TimelineTest, IntegrateAbovePartialSegments) {
+  StepTimeline t(10.0);
+  t.set(100, 0.0);
+  // Query window cuts into the first segment only.
+  EXPECT_DOUBLE_EQ(t.integrate_above(50, 150, 4.0), 6.0 * 50);
+}
+
+TEST(TimelineTest, SampleProducesRegularGrid) {
+  StepTimeline t(1.0);
+  t.set(15, 2.0);
+  const auto pts = t.sample(0, 30, 10);
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_DOUBLE_EQ(pts[0].value, 1.0);   // t=0
+  EXPECT_DOUBLE_EQ(pts[1].value, 1.0);   // t=10
+  EXPECT_DOUBLE_EQ(pts[2].value, 2.0);   // t=20
+  EXPECT_DOUBLE_EQ(pts[3].value, 2.0);   // t=30
+}
+
+TEST(TimelineTest, SampleInvalidStep) {
+  StepTimeline t(1.0);
+  EXPECT_TRUE(t.sample(0, 10, 0).empty());
+}
+
+// Property: integrate(a,b) + integrate(b,c) == integrate(a,c) for any split.
+class TimelineSplitTest : public ::testing::TestWithParam<SimTime> {};
+
+TEST_P(TimelineSplitTest, IntegralIsAdditive) {
+  StepTimeline t(2.0);
+  t.set(100, 7.0);
+  t.set(250, 1.0);
+  t.set(400, 9.0);
+  const SimTime split = GetParam();
+  EXPECT_DOUBLE_EQ(t.integrate(0, split) + t.integrate(split, 500),
+                   t.integrate(0, 500));
+  EXPECT_DOUBLE_EQ(
+      t.integrate_above(0, split, 3.0) + t.integrate_above(split, 500, 3.0),
+      t.integrate_above(0, 500, 3.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, TimelineSplitTest,
+                         ::testing::Values(0, 1, 99, 100, 101, 250, 399, 400,
+                                           499, 500));
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,117 @@
+// sg_run: config-driven experiment runner (the paper artifact's workflow).
+//
+// Mirrors the artifact's order of operations (Artifact Appendix, A1):
+//   1. deploy the application (here: build the simulated testbed)
+//   2. read initial allocations + per-service parameters from a config file
+//   3. initialize the controller
+//   4. run the workload generator and the controller together
+// and reports what the artifact's modified wrk2 reports (A2): a latency
+// histogram and the violation volume.
+//
+// Usage:
+//   sg_run <config-file> [--histogram] [--quiet]
+// See sample_config at the repository root for all recognized keys.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/csv.hpp"
+#include "core/config_map.hpp"
+#include "core/reporting.hpp"
+
+using namespace sg;
+
+namespace {
+
+void print_histogram(const LoadGenResults& results) {
+  std::printf("\nLatency distribution (wrk2-style):\n");
+  TablePrinter table({"percentile", "latency"});
+  // LoadGenResults carries the headline percentiles; the full histogram is
+  // accessible programmatically via LoadGenerator::histogram().
+  table.add_row({"50.000%", format_time(results.p50)});
+  table.add_row({"98.000%", format_time(results.p98)});
+  table.add_row({"99.000%", format_time(results.p99)});
+  table.add_row({"100.000%", format_time(results.max_latency)});
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <config-file> [--histogram] [--quiet]\n"
+                 "see sample_config for recognized keys\n",
+                 argv[0]);
+    return 2;
+  }
+  bool histogram = false, quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--histogram") == 0) histogram = true;
+    if (std::strcmp(argv[i], "--quiet") == 0) quiet = true;
+  }
+
+  std::string error;
+  const auto file_cfg = Config::load(argv[1], &error);
+  if (!file_cfg) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  auto cfg = experiment_from_config(*file_cfg, &error);
+  if (!cfg) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+
+  if (!quiet) {
+    std::printf("workload:   %s @ %.0f rps (%s, %s)\n",
+                cfg->workload.spec.name.c_str(), cfg->workload.base_rate_rps,
+                to_string(cfg->workload.spec.rpc),
+                to_string(cfg->workload.spec.threading));
+    std::printf("controller: %s | nodes: %d | surge: %.2fx for %s every %s\n",
+                to_string(cfg->controller), cfg->nodes, cfg->surge_mult,
+                format_time(cfg->surge_len).c_str(),
+                format_time(cfg->surge_period).c_str());
+  }
+
+  // Profile at low load (paper §IV), then apply any user-pinned targets.
+  ProfileResult profile =
+      profile_workload(cfg->workload, cfg->nodes, cfg->target_mult);
+  const int pinned =
+      apply_target_overrides(*file_cfg, cfg->workload, &profile.targets);
+  if (!quiet && pinned > 0) {
+    std::printf("pinned targets for %d service(s) from the config file\n",
+                pinned);
+  }
+  if (!quiet) {
+    std::printf("low-load mean e2e: %s -> QoS %s\n",
+                format_time(profile.low_load_mean_latency).c_str(),
+                format_time(static_cast<SimTime>(
+                                cfg->qos_mult *
+                                static_cast<double>(profile.low_load_mean_latency)))
+                    .c_str());
+  }
+
+  const ExperimentResult r = run_experiment(*cfg, profile);
+
+  print_banner("results");
+  TablePrinter table({"metric", "value"});
+  table.add_row({"violation volume", fmt_double(r.load.violation_volume_ms_s, 3) + " ms*s"});
+  table.add_row({"violation duration", fmt_double(100.0 * r.load.violation_duration_frac, 1) + "% of window"});
+  table.add_row({"p50 latency", format_time(r.load.p50)});
+  table.add_row({"p98 latency", format_time(r.load.p98)});
+  table.add_row({"p99 latency", format_time(r.load.p99)});
+  table.add_row({"throughput", fmt_double(r.load.throughput_rps, 0) + " rps"});
+  table.add_row({"requests completed", std::to_string(r.load.completed)});
+  table.add_row({"avg cores used", fmt_double(r.avg_cores, 2)});
+  table.add_row({"energy", fmt_double(r.energy_joules, 1) + " J"});
+  if (r.fr_packets > 0) {
+    table.add_row({"fast-path packets inspected", std::to_string(r.fr_packets)});
+    table.add_row({"fast-path violations", std::to_string(r.fr_violations)});
+    table.add_row({"fast-path boosts", std::to_string(r.fr_boosts)});
+  }
+  table.print();
+
+  if (histogram) print_histogram(r.load);
+  return 0;
+}
