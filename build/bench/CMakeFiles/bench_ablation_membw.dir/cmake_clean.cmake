@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_membw.dir/bench_ablation_membw.cpp.o"
+  "CMakeFiles/bench_ablation_membw.dir/bench_ablation_membw.cpp.o.d"
+  "bench_ablation_membw"
+  "bench_ablation_membw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_membw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

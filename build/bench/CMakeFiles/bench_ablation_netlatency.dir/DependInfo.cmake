@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_netlatency.cpp" "bench/CMakeFiles/bench_ablation_netlatency.dir/bench_ablation_netlatency.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_netlatency.dir/bench_ablation_netlatency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/controllers/CMakeFiles/sg_controllers.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/sg_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_netlatency.dir/bench_ablation_netlatency.cpp.o"
+  "CMakeFiles/bench_ablation_netlatency.dir/bench_ablation_netlatency.cpp.o.d"
+  "bench_ablation_netlatency"
+  "bench_ablation_netlatency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_netlatency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

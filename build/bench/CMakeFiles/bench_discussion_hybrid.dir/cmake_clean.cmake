@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discussion_hybrid.dir/bench_discussion_hybrid.cpp.o"
+  "CMakeFiles/bench_discussion_hybrid.dir/bench_discussion_hybrid.cpp.o.d"
+  "bench_discussion_hybrid"
+  "bench_discussion_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discussion_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

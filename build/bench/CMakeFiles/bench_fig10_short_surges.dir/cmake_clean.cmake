@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_short_surges.dir/bench_fig10_short_surges.cpp.o"
+  "CMakeFiles/bench_fig10_short_surges.dir/bench_fig10_short_surges.cpp.o.d"
+  "bench_fig10_short_surges"
+  "bench_fig10_short_surges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_short_surges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

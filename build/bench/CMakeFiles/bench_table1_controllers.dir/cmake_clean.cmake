@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_controllers.dir/bench_table1_controllers.cpp.o"
+  "CMakeFiles/bench_table1_controllers.dir/bench_table1_controllers.cpp.o.d"
+  "bench_table1_controllers"
+  "bench_table1_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_reservation_sweep.dir/hotel_reservation_sweep.cpp.o"
+  "CMakeFiles/hotel_reservation_sweep.dir/hotel_reservation_sweep.cpp.o.d"
+  "hotel_reservation_sweep"
+  "hotel_reservation_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_reservation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_latency_curve.dir/load_latency_curve.cpp.o"
+  "CMakeFiles/load_latency_curve.dir/load_latency_curve.cpp.o.d"
+  "load_latency_curve"
+  "load_latency_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_latency_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_surge.dir/social_network_surge.cpp.o"
+  "CMakeFiles/social_network_surge.dir/social_network_surge.cpp.o.d"
+  "social_network_surge"
+  "social_network_surge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_surge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

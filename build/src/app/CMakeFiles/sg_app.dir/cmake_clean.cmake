@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_app.dir/application.cpp.o"
+  "CMakeFiles/sg_app.dir/application.cpp.o.d"
+  "CMakeFiles/sg_app.dir/task_graph.cpp.o"
+  "CMakeFiles/sg_app.dir/task_graph.cpp.o.d"
+  "CMakeFiles/sg_app.dir/threadpool.cpp.o"
+  "CMakeFiles/sg_app.dir/threadpool.cpp.o.d"
+  "CMakeFiles/sg_app.dir/workloads.cpp.o"
+  "CMakeFiles/sg_app.dir/workloads.cpp.o.d"
+  "libsg_app.a"
+  "libsg_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

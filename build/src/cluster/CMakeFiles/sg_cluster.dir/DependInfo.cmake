@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/sg_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/sg_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/container.cpp" "src/cluster/CMakeFiles/sg_cluster.dir/container.cpp.o" "gcc" "src/cluster/CMakeFiles/sg_cluster.dir/container.cpp.o.d"
+  "/root/repo/src/cluster/membw.cpp" "src/cluster/CMakeFiles/sg_cluster.dir/membw.cpp.o" "gcc" "src/cluster/CMakeFiles/sg_cluster.dir/membw.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/cluster/CMakeFiles/sg_cluster.dir/node.cpp.o" "gcc" "src/cluster/CMakeFiles/sg_cluster.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/sg_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/sg_cluster.dir/container.cpp.o"
+  "CMakeFiles/sg_cluster.dir/container.cpp.o.d"
+  "CMakeFiles/sg_cluster.dir/membw.cpp.o"
+  "CMakeFiles/sg_cluster.dir/membw.cpp.o.d"
+  "CMakeFiles/sg_cluster.dir/node.cpp.o"
+  "CMakeFiles/sg_cluster.dir/node.cpp.o.d"
+  "libsg_cluster.a"
+  "libsg_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

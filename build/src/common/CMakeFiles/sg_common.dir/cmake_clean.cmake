@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_common.dir/config.cpp.o"
+  "CMakeFiles/sg_common.dir/config.cpp.o.d"
+  "CMakeFiles/sg_common.dir/csv.cpp.o"
+  "CMakeFiles/sg_common.dir/csv.cpp.o.d"
+  "CMakeFiles/sg_common.dir/histogram.cpp.o"
+  "CMakeFiles/sg_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/sg_common.dir/logging.cpp.o"
+  "CMakeFiles/sg_common.dir/logging.cpp.o.d"
+  "CMakeFiles/sg_common.dir/rng.cpp.o"
+  "CMakeFiles/sg_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sg_common.dir/stats.cpp.o"
+  "CMakeFiles/sg_common.dir/stats.cpp.o.d"
+  "CMakeFiles/sg_common.dir/time.cpp.o"
+  "CMakeFiles/sg_common.dir/time.cpp.o.d"
+  "libsg_common.a"
+  "libsg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controllers/caladan.cpp" "src/controllers/CMakeFiles/sg_controllers.dir/caladan.cpp.o" "gcc" "src/controllers/CMakeFiles/sg_controllers.dir/caladan.cpp.o.d"
+  "/root/repo/src/controllers/centralized.cpp" "src/controllers/CMakeFiles/sg_controllers.dir/centralized.cpp.o" "gcc" "src/controllers/CMakeFiles/sg_controllers.dir/centralized.cpp.o.d"
+  "/root/repo/src/controllers/escalator.cpp" "src/controllers/CMakeFiles/sg_controllers.dir/escalator.cpp.o" "gcc" "src/controllers/CMakeFiles/sg_controllers.dir/escalator.cpp.o.d"
+  "/root/repo/src/controllers/first_responder.cpp" "src/controllers/CMakeFiles/sg_controllers.dir/first_responder.cpp.o" "gcc" "src/controllers/CMakeFiles/sg_controllers.dir/first_responder.cpp.o.d"
+  "/root/repo/src/controllers/ideal.cpp" "src/controllers/CMakeFiles/sg_controllers.dir/ideal.cpp.o" "gcc" "src/controllers/CMakeFiles/sg_controllers.dir/ideal.cpp.o.d"
+  "/root/repo/src/controllers/parties.cpp" "src/controllers/CMakeFiles/sg_controllers.dir/parties.cpp.o" "gcc" "src/controllers/CMakeFiles/sg_controllers.dir/parties.cpp.o.d"
+  "/root/repo/src/controllers/surgeguard.cpp" "src/controllers/CMakeFiles/sg_controllers.dir/surgeguard.cpp.o" "gcc" "src/controllers/CMakeFiles/sg_controllers.dir/surgeguard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/sg_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_controllers.dir/caladan.cpp.o"
+  "CMakeFiles/sg_controllers.dir/caladan.cpp.o.d"
+  "CMakeFiles/sg_controllers.dir/centralized.cpp.o"
+  "CMakeFiles/sg_controllers.dir/centralized.cpp.o.d"
+  "CMakeFiles/sg_controllers.dir/escalator.cpp.o"
+  "CMakeFiles/sg_controllers.dir/escalator.cpp.o.d"
+  "CMakeFiles/sg_controllers.dir/first_responder.cpp.o"
+  "CMakeFiles/sg_controllers.dir/first_responder.cpp.o.d"
+  "CMakeFiles/sg_controllers.dir/ideal.cpp.o"
+  "CMakeFiles/sg_controllers.dir/ideal.cpp.o.d"
+  "CMakeFiles/sg_controllers.dir/parties.cpp.o"
+  "CMakeFiles/sg_controllers.dir/parties.cpp.o.d"
+  "CMakeFiles/sg_controllers.dir/surgeguard.cpp.o"
+  "CMakeFiles/sg_controllers.dir/surgeguard.cpp.o.d"
+  "libsg_controllers.a"
+  "libsg_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_core.dir/config_map.cpp.o"
+  "CMakeFiles/sg_core.dir/config_map.cpp.o.d"
+  "CMakeFiles/sg_core.dir/experiment.cpp.o"
+  "CMakeFiles/sg_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/sg_core.dir/reporting.cpp.o"
+  "CMakeFiles/sg_core.dir/reporting.cpp.o.d"
+  "CMakeFiles/sg_core.dir/sweep.cpp.o"
+  "CMakeFiles/sg_core.dir/sweep.cpp.o.d"
+  "libsg_core.a"
+  "libsg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

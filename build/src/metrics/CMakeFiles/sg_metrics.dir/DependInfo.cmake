@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/container_metrics.cpp" "src/metrics/CMakeFiles/sg_metrics.dir/container_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/sg_metrics.dir/container_metrics.cpp.o.d"
+  "/root/repo/src/metrics/metrics_bus.cpp" "src/metrics/CMakeFiles/sg_metrics.dir/metrics_bus.cpp.o" "gcc" "src/metrics/CMakeFiles/sg_metrics.dir/metrics_bus.cpp.o.d"
+  "/root/repo/src/metrics/sensitivity.cpp" "src/metrics/CMakeFiles/sg_metrics.dir/sensitivity.cpp.o" "gcc" "src/metrics/CMakeFiles/sg_metrics.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_metrics.dir/container_metrics.cpp.o"
+  "CMakeFiles/sg_metrics.dir/container_metrics.cpp.o.d"
+  "CMakeFiles/sg_metrics.dir/metrics_bus.cpp.o"
+  "CMakeFiles/sg_metrics.dir/metrics_bus.cpp.o.d"
+  "CMakeFiles/sg_metrics.dir/sensitivity.cpp.o"
+  "CMakeFiles/sg_metrics.dir/sensitivity.cpp.o.d"
+  "libsg_metrics.a"
+  "libsg_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sg_metrics.
+# This may be replaced when dependencies are built.

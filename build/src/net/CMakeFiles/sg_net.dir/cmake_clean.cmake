@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_net.dir/network.cpp.o"
+  "CMakeFiles/sg_net.dir/network.cpp.o.d"
+  "libsg_net.a"
+  "libsg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

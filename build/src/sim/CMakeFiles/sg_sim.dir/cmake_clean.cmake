@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/sg_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/sg_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sg_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/sg_sim.dir/timeline.cpp.o"
+  "CMakeFiles/sg_sim.dir/timeline.cpp.o.d"
+  "libsg_sim.a"
+  "libsg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

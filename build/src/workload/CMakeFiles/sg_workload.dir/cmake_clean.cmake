@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_workload.dir/load_generator.cpp.o"
+  "CMakeFiles/sg_workload.dir/load_generator.cpp.o.d"
+  "CMakeFiles/sg_workload.dir/spike.cpp.o"
+  "CMakeFiles/sg_workload.dir/spike.cpp.o.d"
+  "CMakeFiles/sg_workload.dir/violation_volume.cpp.o"
+  "CMakeFiles/sg_workload.dir/violation_volume.cpp.o.d"
+  "libsg_workload.a"
+  "libsg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

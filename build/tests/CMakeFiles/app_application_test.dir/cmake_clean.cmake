@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_application_test.dir/app_application_test.cpp.o"
+  "CMakeFiles/app_application_test.dir/app_application_test.cpp.o.d"
+  "app_application_test"
+  "app_application_test.pdb"
+  "app_application_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_application_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

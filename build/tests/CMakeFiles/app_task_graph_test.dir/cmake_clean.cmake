@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_task_graph_test.dir/app_task_graph_test.cpp.o"
+  "CMakeFiles/app_task_graph_test.dir/app_task_graph_test.cpp.o.d"
+  "app_task_graph_test"
+  "app_task_graph_test.pdb"
+  "app_task_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_task_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_container_test.dir/cluster_container_test.cpp.o"
+  "CMakeFiles/cluster_container_test.dir/cluster_container_test.cpp.o.d"
+  "cluster_container_test"
+  "cluster_container_test.pdb"
+  "cluster_container_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_container_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

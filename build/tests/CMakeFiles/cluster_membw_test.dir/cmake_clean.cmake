@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_membw_test.dir/cluster_membw_test.cpp.o"
+  "CMakeFiles/cluster_membw_test.dir/cluster_membw_test.cpp.o.d"
+  "cluster_membw_test"
+  "cluster_membw_test.pdb"
+  "cluster_membw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_membw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

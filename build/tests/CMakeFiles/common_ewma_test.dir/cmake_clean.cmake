@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_ewma_test.dir/common_ewma_test.cpp.o"
+  "CMakeFiles/common_ewma_test.dir/common_ewma_test.cpp.o.d"
+  "common_ewma_test"
+  "common_ewma_test.pdb"
+  "common_ewma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_ewma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

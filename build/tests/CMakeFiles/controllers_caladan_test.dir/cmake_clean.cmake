@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controllers_caladan_test.dir/controllers_caladan_test.cpp.o"
+  "CMakeFiles/controllers_caladan_test.dir/controllers_caladan_test.cpp.o.d"
+  "controllers_caladan_test"
+  "controllers_caladan_test.pdb"
+  "controllers_caladan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controllers_caladan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controllers_centralized_test.dir/controllers_centralized_test.cpp.o"
+  "CMakeFiles/controllers_centralized_test.dir/controllers_centralized_test.cpp.o.d"
+  "controllers_centralized_test"
+  "controllers_centralized_test.pdb"
+  "controllers_centralized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controllers_centralized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

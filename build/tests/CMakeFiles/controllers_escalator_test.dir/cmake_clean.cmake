@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controllers_escalator_test.dir/controllers_escalator_test.cpp.o"
+  "CMakeFiles/controllers_escalator_test.dir/controllers_escalator_test.cpp.o.d"
+  "controllers_escalator_test"
+  "controllers_escalator_test.pdb"
+  "controllers_escalator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controllers_escalator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controllers_first_responder_test.dir/controllers_first_responder_test.cpp.o"
+  "CMakeFiles/controllers_first_responder_test.dir/controllers_first_responder_test.cpp.o.d"
+  "controllers_first_responder_test"
+  "controllers_first_responder_test.pdb"
+  "controllers_first_responder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controllers_first_responder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controllers_parties_test.dir/controllers_parties_test.cpp.o"
+  "CMakeFiles/controllers_parties_test.dir/controllers_parties_test.cpp.o.d"
+  "controllers_parties_test"
+  "controllers_parties_test.pdb"
+  "controllers_parties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controllers_parties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

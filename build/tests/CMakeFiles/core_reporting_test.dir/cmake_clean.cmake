@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_reporting_test.dir/core_reporting_test.cpp.o"
+  "CMakeFiles/core_reporting_test.dir/core_reporting_test.cpp.o.d"
+  "core_reporting_test"
+  "core_reporting_test.pdb"
+  "core_reporting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_reporting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_knee_test.dir/integration_knee_test.cpp.o"
+  "CMakeFiles/integration_knee_test.dir/integration_knee_test.cpp.o.d"
+  "integration_knee_test"
+  "integration_knee_test.pdb"
+  "integration_knee_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_knee_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

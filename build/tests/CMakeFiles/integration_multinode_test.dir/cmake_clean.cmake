@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_multinode_test.dir/integration_multinode_test.cpp.o"
+  "CMakeFiles/integration_multinode_test.dir/integration_multinode_test.cpp.o.d"
+  "integration_multinode_test"
+  "integration_multinode_test.pdb"
+  "integration_multinode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_multinode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_surge_test.dir/integration_surge_test.cpp.o"
+  "CMakeFiles/integration_surge_test.dir/integration_surge_test.cpp.o.d"
+  "integration_surge_test"
+  "integration_surge_test.pdb"
+  "integration_surge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_surge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_threading_test.dir/integration_threading_test.cpp.o"
+  "CMakeFiles/integration_threading_test.dir/integration_threading_test.cpp.o.d"
+  "integration_threading_test"
+  "integration_threading_test.pdb"
+  "integration_threading_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_threading_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_spike_test.dir/workload_spike_test.cpp.o"
+  "CMakeFiles/workload_spike_test.dir/workload_spike_test.cpp.o.d"
+  "workload_spike_test"
+  "workload_spike_test.pdb"
+  "workload_spike_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_spike_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_violation_volume_test.dir/workload_violation_volume_test.cpp.o"
+  "CMakeFiles/workload_violation_volume_test.dir/workload_violation_volume_test.cpp.o.d"
+  "workload_violation_volume_test"
+  "workload_violation_volume_test.pdb"
+  "workload_violation_volume_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_violation_volume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

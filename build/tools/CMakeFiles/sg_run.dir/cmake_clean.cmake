@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_run.dir/sg_run.cpp.o"
+  "CMakeFiles/sg_run.dir/sg_run.cpp.o.d"
+  "sg_run"
+  "sg_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
