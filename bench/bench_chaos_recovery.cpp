@@ -1,0 +1,104 @@
+// Chaos recovery: controller comparison under injected faults.
+//
+// ScalerEval-style disturbance scenarios: the same surge workload is run
+// through (a) a clean baseline, (b) a 10% packet-loss window, and (c) a
+// deep node-slowdown window, with RPC retransmission enabled everywhere.
+// The questions a scaler must answer under chaos are different from the
+// steady-state ones: does every request drain (conservation), how much tail
+// latency does recovery cost, and does the controller's reaction help or
+// thrash. Faults are seed-deterministic (sg::fault), so cells are
+// reproducible run to run.
+#include "bench_common.hpp"
+
+using namespace sg;
+using namespace sg::bench;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  const char* plan;  // FaultPlan spec ("" = clean baseline)
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  auto csv = open_csv(args, "chaos_recovery");
+  if (csv) {
+    csv->cell("scenario").cell("controller").cell("vv_ms_s").cell("p99_ms")
+        .cell("completed").cell("client_retries").cell("dropped")
+        .cell("stranded");
+    csv->end_row();
+  }
+
+  const WorkloadInfo w = make_chain();
+  const ProfileResult profile = profile_workload(w, 1);
+
+  // Fault windows sit inside the measurement window (warmup defaults to
+  // 5 s), overlapping the load surges so recovery and scaling interact.
+  const Scenario scenarios[] = {
+      {"baseline (no faults)", ""},
+      {"10% packet loss, 2s window",
+       "drop:start_ms=8000,len_ms=2000,rate=0.1"},
+      {"node slowdown 4x, 500ms window",
+       "slow:node=0,start_ms=8000,len_ms=500,factor=0.25"},
+  };
+
+  for (const Scenario& sc : scenarios) {
+    print_banner(std::string("chaos: ") + sc.name);
+    TablePrinter table({"controller", "VV (ms*s)", "p99 (ms)", "completed",
+                        "retries", "dropped", "stranded"});
+    for (ControllerKind kind :
+         {ControllerKind::kParties, ControllerKind::kCaladan,
+          ControllerKind::kSurgeGuard}) {
+      ExperimentConfig cfg;
+      cfg.workload = w;
+      cfg.controller = kind;
+      cfg.surge_len = 0;  // NO load surge: the disruption is the fault
+      args.apply_timing(cfg);
+      cfg.seed = args.seed;
+      cfg.rpc_retry.enabled = true;
+      cfg.rpc_retry.timeout = 50 * kMillisecond;
+      cfg.drain = 5 * kSecond;
+      if (sc.plan[0] != '\0') {
+        std::string error;
+        const auto plan = FaultPlan::parse(sc.plan, &error);
+        if (!plan) {
+          std::fprintf(stderr, "bad plan: %s\n", error.c_str());
+          return 2;
+        }
+        cfg.fault_plan = *plan;
+      }
+      const ExperimentResult r = run_experiment(cfg, profile);
+      table.add_row({to_string(kind),
+                     fmt_double(r.load.violation_volume_ms_s, 2),
+                     fmt_double(to_millis(r.load.p99), 2),
+                     std::to_string(r.load.completed_total),
+                     std::to_string(r.load.retries),
+                     std::to_string(r.load.dropped),
+                     std::to_string(r.load.outstanding)});
+      if (csv) {
+        csv->cell(sc.name).cell(to_string(kind))
+            .cell(r.load.violation_volume_ms_s).cell(to_millis(r.load.p99))
+            .cell(static_cast<long long>(r.load.completed_total))
+            .cell(static_cast<long long>(r.load.retries))
+            .cell(static_cast<long long>(r.load.dropped))
+            .cell(static_cast<long long>(r.load.outstanding));
+        csv->end_row();
+      }
+    }
+    table.print();
+  }
+  std::printf(
+      "\nExpected shape: every baseline cell is clean (retries enabled but\n"
+      "never firing). Faults inflate the tail for everyone — retransmission\n"
+      "delay is not removable by a CPU controller — but a controller that\n"
+      "restores capacity drains the retried backlog and finishes with zero\n"
+      "stranded requests (SurgeGuard fastest, Parties behind it). A\n"
+      "controller whose upscale signal misses the post-fault backlog\n"
+      "(CaladanAlgo on this pooled workload) ends the run with a standing\n"
+      "queue: completed < issued and the remainder shows as stranded —\n"
+      "the recovery difference chaos runs exist to expose.\n");
+  return 0;
+}

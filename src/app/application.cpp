@@ -6,6 +6,12 @@
 
 namespace sg {
 
+SimTime RpcRetryPolicy::timeout_for_attempt(int attempt) const {
+  double t = static_cast<double>(timeout);
+  for (int i = 0; i < attempt; ++i) t *= backoff;
+  return static_cast<SimTime>(t);
+}
+
 std::vector<int> AppTopology::downstream_on_node(int container, int node,
                                                  const Cluster& cluster) const {
   std::vector<int> out;
@@ -160,6 +166,21 @@ void Application::on_request(const RpcPacket& pkt) {
   ServiceRuntime& sr = runtime_of_container(pkt.dst_container);
   const SimTime now = cluster_.sim().now();
 
+  if (sr.index == 0) {
+    // Idempotency-key dedup at the frontend: a client retransmission (or a
+    // dup-faulted delivery) of a request that is still being processed must
+    // not re-execute the whole task graph — spurious retransmissions of
+    // slow-but-alive requests would otherwise amplify a short fault window
+    // into a metastable retry storm. The in-flight visit's eventual
+    // response completes the request; only requests the frontend has
+    // already forgotten (genuinely lost, or response lost) re-execute.
+    const auto live = entry_visit_by_request_.find(pkt.request_id);
+    if (live != entry_visit_by_request_.end()) {
+      ++duplicate_requests_;
+      return;
+    }
+  }
+
   const std::uint64_t key = next_visit_key_++;
   Visit v;
   v.request_id = pkt.request_id;
@@ -170,7 +191,10 @@ void Application::on_request(const RpcPacket& pkt) {
   v.arrived_upscale = pkt.upscale;
   v.reply_to = ReplyAddress{pkt.src_container, pkt.src_node, pkt.call_id};
   visits_.emplace(key, v);
-  if (sr.index == 0) ++in_flight_;
+  if (sr.index == 0) {
+    ++in_flight_;
+    entry_visit_by_request_.emplace(pkt.request_id, key);
+  }
 
   const double work = sr.spec->work_ns_mean <= 0.0
                           ? 0.0
@@ -218,7 +242,8 @@ void Application::begin_child(std::uint64_t key, std::size_t child_idx) {
   });
 }
 
-void Application::send_child_rpc(std::uint64_t key, std::size_t child_idx) {
+void Application::send_child_rpc(std::uint64_t key, std::size_t child_idx,
+                                 int attempt) {
   auto it = visits_.find(key);
   SG_ASSERT(it != visits_.end());
   Visit& v = it->second;
@@ -238,16 +263,50 @@ void Application::send_child_rpc(std::uint64_t key, std::size_t child_idx) {
   pkt.start_time = v.start_time;   // propagated unchanged (Fig. 8)
   pkt.upscale = outgoing_upscale(sr, v);
 
-  pending_calls_.emplace(pkt.call_id, std::make_pair(key, child_idx));
+  PendingCall pc;
+  pc.visit_key = key;
+  pc.child_idx = child_idx;
+  pc.attempt = attempt;
+  if (options_.retry.enabled) {
+    pc.timer = cluster_.sim().schedule_after(
+        options_.retry.timeout_for_attempt(attempt),
+        [this, call_id = pkt.call_id]() { on_call_timeout(call_id); });
+  }
+  pending_calls_.emplace(pkt.call_id, pc);
   network_.send(pkt.src_node, pkt);
+}
+
+void Application::on_call_timeout(std::uint64_t call_id) {
+  const auto it = pending_calls_.find(call_id);
+  if (it == pending_calls_.end()) return;  // response won the race
+  const PendingCall pc = it->second;
+  // The held connection stays held across retransmissions: the retry is the
+  // same logical call, re-sent on the same connection.
+  pending_calls_.erase(it);
+  if (pc.attempt < options_.retry.max_retries) {
+    ++rpc_retries_;
+    send_child_rpc(pc.visit_key, pc.child_idx, pc.attempt + 1);
+    return;
+  }
+  // Retries exhausted: abandon the call but complete the visit degraded, so
+  // the request conserves (it drains as completed, never strands).
+  ++rpc_failures_;
+  on_child_reply(pc.visit_key, pc.child_idx);
 }
 
 void Application::on_response(const RpcPacket& pkt) {
   const auto it = pending_calls_.find(pkt.call_id);
-  SG_ASSERT_MSG(it != pending_calls_.end(), "response for unknown call");
-  const auto [key, child_idx] = it->second;
+  if (it == pending_calls_.end()) {
+    // Duplicate response, or an original that lost the race against its own
+    // retransmission. At-least-once delivery makes these benign under
+    // faults; count them so fault-free tests can assert zero.
+    ++stray_responses_;
+    return;
+  }
+  const PendingCall pc = it->second;
+  if (pc.timer != kInvalidEvent) cluster_.sim().cancel(pc.timer);
   pending_calls_.erase(it);
-  on_child_reply(key, child_idx);
+  on_child_reply(pc.visit_key, pc.child_idx);
 }
 
 void Application::on_child_reply(std::uint64_t key, std::size_t child_idx) {
@@ -314,6 +373,7 @@ void Application::reply(std::uint64_t key) {
   if (sr.index == 0) {
     --in_flight_;
     ++requests_completed_;
+    entry_visit_by_request_.erase(v.request_id);
   }
   visits_.erase(it);
   network_.send(pkt.src_node, pkt);

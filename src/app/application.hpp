@@ -52,11 +52,36 @@ struct Deployment {
                                 int cores_per_service);
 };
 
+/// Timeout/retry policy for RPCs (paper testbeds run Thrift/gRPC, both of
+/// which retransmit; without this, a single dropped packet strands a request
+/// forever). Shared by the application's child RPCs and the load generator's
+/// client requests. Timeouts back off exponentially:
+/// attempt k waits timeout * backoff^k.
+struct RpcRetryPolicy {
+  bool enabled = false;
+  /// First-attempt timeout. Must comfortably exceed the normal RPC round
+  /// trip or healthy calls will spuriously retransmit.
+  SimTime timeout = 50 * kMillisecond;
+  double backoff = 2.0;
+  /// Retransmissions after the initial attempt; once exhausted the call is
+  /// abandoned (child RPCs complete degraded, client requests count as
+  /// dropped).
+  int max_retries = 5;
+
+  /// Timeout for attempt k (k=0 is the initial send).
+  SimTime timeout_for_attempt(int attempt) const;
+};
+
 class Application {
  public:
   struct Options {
     /// Reporting window for container-runtime metric publication.
     SimTime metrics_interval = 50 * kMillisecond;
+
+    /// Child-RPC retransmission policy. Disabled by default: the fault-free
+    /// testbed never needs it, and the pre-fault event sequence must stay
+    /// bit-identical.
+    RpcRetryPolicy retry;
   };
 
   Application(Cluster& cluster, Network& network, MetricsPlane& metrics,
@@ -96,10 +121,27 @@ class Application {
   /// expectedTimeFromStart (paper §IV "SurgeGuard Parameters").
   const ContainerRuntimeMetrics& runtime_metrics(ContainerId container) const;
 
-  /// Requests in flight inside the application (all services).
+  /// Requests in flight inside the application (all services). Duplicate
+  /// deliveries of a still-in-flight entry request (client retransmissions,
+  /// packet-dup faults) are absorbed by the frontend's idempotency dedup
+  /// and do not count; a duplicate arriving after completion re-executes.
   int in_flight() const { return in_flight_; }
 
   std::uint64_t requests_completed() const { return requests_completed_; }
+
+  /// --- fault observability ---
+
+  /// Child RPCs retransmitted after a timeout.
+  std::uint64_t rpc_retries() const { return rpc_retries_; }
+  /// Child RPCs abandoned after exhausting retries (visit completed
+  /// degraded so the request still drains).
+  std::uint64_t rpc_failures() const { return rpc_failures_; }
+  /// Responses with no pending call: duplicates, or originals that raced a
+  /// retransmission. Benign under faults; a bug if nonzero without them.
+  std::uint64_t stray_responses() const { return stray_responses_; }
+  /// Entry requests absorbed by the frontend's idempotency dedup (a copy of
+  /// a request whose original visit was still in flight).
+  std::uint64_t duplicate_requests() const { return duplicate_requests_; }
 
   /// Per-edge pool (service, child index) — exposed for tests/inspection.
   const ConnectionPool& edge_pool(int service, int child_idx) const;
@@ -136,13 +178,23 @@ class Application {
     int pending_children = 0;     // parallel fan-out join counter
   };
 
+  /// One in-flight child RPC awaiting its response (or a retransmission).
+  struct PendingCall {
+    std::uint64_t visit_key = 0;
+    std::size_t child_idx = 0;
+    int attempt = 0;               // 0 = initial send
+    EventId timer = kInvalidEvent; // armed only when retry is enabled
+  };
+
   ServiceRuntime& runtime_of_container(int container);
   void on_packet(const RpcPacket& pkt);
   void on_request(const RpcPacket& pkt);
   void on_response(const RpcPacket& pkt);
   void on_own_work_done(std::uint64_t visit_key);
   void begin_child(std::uint64_t visit_key, std::size_t child_idx);
-  void send_child_rpc(std::uint64_t visit_key, std::size_t child_idx);
+  void send_child_rpc(std::uint64_t visit_key, std::size_t child_idx,
+                      int attempt = 0);
+  void on_call_timeout(std::uint64_t call_id);
   void on_child_reply(std::uint64_t visit_key, std::size_t child_idx);
   void finish_children(std::uint64_t visit_key);
   void reply(std::uint64_t visit_key);
@@ -160,13 +212,18 @@ class Application {
 
   std::unordered_map<std::uint64_t, Visit> visits_;
   std::uint64_t next_visit_key_ = 1;
-  // call_id -> visit resumption (visit key, child index).
-  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::size_t>>
-      pending_calls_;
+  // In-flight entry visits by client request id (frontend idempotency key).
+  std::unordered_map<RequestId, std::uint64_t> entry_visit_by_request_;
+  // call_id -> in-flight child RPC state (retransmissions get fresh ids).
+  std::unordered_map<std::uint64_t, PendingCall> pending_calls_;
   std::uint64_t next_call_id_ = 1;
 
   int in_flight_ = 0;
   std::uint64_t requests_completed_ = 0;
+  std::uint64_t rpc_retries_ = 0;
+  std::uint64_t rpc_failures_ = 0;
+  std::uint64_t stray_responses_ = 0;
+  std::uint64_t duplicate_requests_ = 0;
 };
 
 }  // namespace sg

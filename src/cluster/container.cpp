@@ -24,7 +24,7 @@ double Container::rate() const {
       std::min(1.0, static_cast<double>(cores_) / static_cast<double>(n));
   const double interference =
       membw_ != nullptr ? membw_->interference_factor() : 1.0;
-  return params_.dvfs.speed(freq_) * share * interference;
+  return params_.dvfs.speed(freq_) * share * interference * speed_scale_;
 }
 
 double Container::busy_cores() const {
@@ -129,6 +129,14 @@ void Container::set_frequency(FreqMhz f) {
   advance();
   freq_ = q;
   freq_timeline_.set(sim_.now(), static_cast<double>(q));
+  reschedule();
+}
+
+void Container::set_speed_scale(double scale) {
+  SG_ASSERT_MSG(scale >= 0.0 && scale <= 1.0, "speed scale outside [0, 1]");
+  if (scale == speed_scale_) return;
+  advance();
+  speed_scale_ = scale;
   reschedule();
 }
 

@@ -73,6 +73,13 @@ class Container {
   void set_frequency(FreqMhz f);
   FreqMhz frequency() const { return freq_; }
 
+  /// External execution-speed multiplier in (0, 1]: all in-flight jobs
+  /// progress at scale x their normal rate. 0 is legal and stalls jobs
+  /// entirely. Used by fault injection to model node slowdown/freeze;
+  /// orthogonal to cores, DVFS, and memory-bandwidth interference.
+  void set_speed_scale(double scale);
+  double speed_scale() const { return speed_scale_; }
+
   /// --- introspection ---
 
   int active_jobs() const { return static_cast<int>(jobs_.size()); }
@@ -121,6 +128,7 @@ class Container {
 
   int cores_;
   FreqMhz freq_;
+  double speed_scale_ = 1.0;
 
   // Virtual-time processor-sharing state.
   double vtime_ = 0.0;

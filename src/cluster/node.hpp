@@ -47,12 +47,32 @@ class Node {
   const std::vector<Container*>& containers() const { return containers_; }
 
   /// Moves up to `k` cores from the free pool to the container; returns how
-  /// many were actually granted.
+  /// many were actually granted. No-op (returns 0) while the node is frozen.
   int grant(Container* c, int k);
 
   /// Takes up to `k` cores from the container back into the pool, never
-  /// dropping below `floor` cores; returns how many were revoked.
+  /// dropping below `floor` cores; returns how many were revoked. No-op
+  /// (returns 0) while the node is frozen.
   int revoke(Container* c, int k, int floor = 1);
+
+  /// --- fault-injection levers (sg::fault) ---
+
+  /// Scales the execution speed of every container on this node by `factor`
+  /// in (0, 1] (1 restores full speed). Models a degraded machine: thermal
+  /// throttling, a noisy neighbor VM, failing hardware.
+  void set_slowdown(double factor);
+  double slowdown_factor() const { return slowdown_factor_; }
+
+  /// Freezes the node: every container's core allocation is remembered and
+  /// zeroed (jobs stall; packets still arrive and queue), and grant/revoke
+  /// become no-ops. Models a crashed/unresponsive machine awaiting restart.
+  void freeze();
+
+  /// Restarts a frozen node: restores the remembered per-container
+  /// allocations exactly and re-enables grant/revoke.
+  void restart();
+
+  bool frozen() const { return frozen_; }
 
   /// Sum of container allocations (the ledger complement of free_cores()).
   int allocated_cores() const;
@@ -77,6 +97,11 @@ class Node {
   Params params_;
   std::vector<Container*> containers_;
   std::unique_ptr<MemBwDomain> membw_;
+
+  // Fault-injection state.
+  double slowdown_factor_ = 1.0;
+  bool frozen_ = false;
+  std::vector<int> frozen_allocation_;  // index-parallel to containers_
 };
 
 }  // namespace sg

@@ -14,7 +14,7 @@ void CaladanAlgo::start() {
   env_.sim->schedule_periodic(options_.interval, options_.interval, [this]() {
     tick();
     return true;
-  });
+  }, Simulator::TickClass::kController);
 }
 
 void CaladanAlgo::tick() {

@@ -22,7 +22,7 @@ void CentralizedMLController::start() {
   sim_.schedule_periodic(options_.interval, options_.interval, [this]() {
     tick();
     return true;
-  });
+  }, Simulator::TickClass::kController);
 }
 
 void CentralizedMLController::tick() {

@@ -14,7 +14,7 @@ void Escalator::start() {
   env_.sim->schedule_periodic(options_.interval, options_.interval, [this]() {
     tick();
     return true;
-  });
+  }, Simulator::TickClass::kController);
 }
 
 double Escalator::exec_signal(const MetricsSnapshot& snap) const {

@@ -14,7 +14,7 @@ void PartiesController::start() {
   env_.sim->schedule_periodic(options_.interval, options_.interval, [this]() {
     tick();
     return true;
-  });
+  }, Simulator::TickClass::kController);
 }
 
 double PartiesController::violation_ratio(const MetricsSnapshot& snap,

@@ -71,6 +71,28 @@ std::optional<ExperimentConfig> experiment_from_config(const Config& cfg,
   out.net_delay_period =
       from_seconds(cfg.get_double("netdelay.period_s", 10.0));
 
+  // Chaos: deterministic fault schedule + RPC retransmission policy. The
+  // fault.plan value is the same spec string sg_run --fault-plan accepts.
+  if (cfg.has("fault.plan")) {
+    std::string fault_error;
+    const auto plan = FaultPlan::from_config(cfg, &fault_error);
+    if (!plan) return fail(fault_error);
+    out.fault_plan = *plan;
+  }
+  out.rpc_retry.enabled = cfg.get_bool("retry.enabled", false);
+  out.rpc_retry.timeout = static_cast<SimTime>(
+      cfg.get_double("retry.timeout_ms", 50.0) * 1e6);
+  out.rpc_retry.backoff = cfg.get_double("retry.backoff", 2.0);
+  out.rpc_retry.max_retries =
+      static_cast<int>(cfg.get_int("retry.max", 5));
+  if (out.rpc_retry.enabled &&
+      (out.rpc_retry.timeout <= 0 || out.rpc_retry.backoff < 1.0 ||
+       out.rpc_retry.max_retries < 0)) {
+    return fail("invalid retry policy");
+  }
+  out.drain = from_seconds(cfg.get_double("drain_s", 0.0));
+  if (out.drain < 0) return fail("drain_s must be >= 0");
+
   if (cfg.has("membw.node_bw_gbs")) {
     MemBwDomain::Params bw;
     bw.node_bw_gbs = cfg.get_double("membw.node_bw_gbs", 100.0);

@@ -18,6 +18,9 @@
 //   warmup_s, duration_s, qos_mult, target_mult, seed
 //   surge.mult, surge.len_ms, surge.period_s
 //   netdelay.extra_us, netdelay.len_ms, netdelay.period_s
+//   fault.plan          (FaultPlan spec, see fault/fault_plan.hpp)
+//   retry.enabled, retry.timeout_ms, retry.backoff, retry.max
+//   drain_s             (post-measurement drain window)
 //   membw.node_bw_gbs, membw.demand_per_core_gbs
 //   service.<name>.expected_exec_metric_us
 //   service.<name>.expected_time_from_start_us

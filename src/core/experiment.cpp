@@ -49,6 +49,7 @@ struct Testbed {
   std::unique_ptr<Application> app;
   std::vector<std::unique_ptr<Controller>> controllers;
   std::vector<FirstResponder*> first_responders;
+  std::unique_ptr<FaultInjector> faults;
 
   Testbed(std::uint64_t seed, int nodes)
       : sim(seed), cluster(sim), network(sim), metrics(static_cast<std::size_t>(nodes)) {}
@@ -93,9 +94,18 @@ std::unique_ptr<Testbed> build_testbed(const ExperimentConfig& config,
   spec.autosize_pools(w.base_rate_rps, hop_ns);
   Application::Options app_opts;
   app_opts.metrics_interval = config.metrics_interval;
+  app_opts.retry = config.rpc_retry;
   tb->app = std::make_unique<Application>(tb->cluster, tb->network, tb->metrics,
                                           std::move(spec), deployment, app_opts);
   tb->app->start_metric_publication();
+
+  // Chaos: arm the fault schedule. Created AFTER the stack above so that a
+  // fault-free plan leaves every RNG fork stream — and therefore the whole
+  // event sequence — bit-identical to the pre-fault code path.
+  if (!config.fault_plan.empty()) {
+    tb->faults = std::make_unique<FaultInjector>(tb->sim, config.fault_plan);
+    tb->faults->arm(&tb->network, &tb->cluster);
+  }
 
   // One controller instance per node (decentralized, Fig. 1).
   const AppTopology topology = tb->app->topology();
@@ -238,6 +248,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   gen_opts.warmup = config.warmup;
   gen_opts.duration = config.duration;
   gen_opts.vv_window = config.vv_window;
+  // The client's retransmission timeout sits well above the app's internal
+  // RPC timeout: internal retries must get a chance to recover a lost
+  // packet before the client re-issues the whole request, or a short loss
+  // window amplifies into a metastable retry storm.
+  gen_opts.retry = config.rpc_retry;
+  gen_opts.retry.timeout = 4 * config.rpc_retry.timeout;
   LoadGenerator gen(tb->sim, tb->network, *tb->app, gen_opts);
 
   for (auto& c : tb->controllers) c->start();
@@ -266,6 +282,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   });
 
   tb->sim.run_until(gen.measure_end());
+  if (config.drain > 0) {
+    // Drain phase: no new arrivals; in-flight and retried requests finish
+    // (or exhaust their retries) before results are read.
+    gen.stop();
+    tb->sim.run_until(gen.measure_end() + config.drain);
+  }
   tb->cluster.sync_all();
 
   ExperimentResult out;
@@ -281,6 +303,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     out.fr_violations += fr->violations_detected();
     out.fr_boosts += fr->boosts_applied();
   }
+
+  if (tb->faults) out.faults = tb->faults->stats();
+  out.app_rpc_retries = tb->app->rpc_retries();
+  out.app_rpc_failures = tb->app->rpc_failures();
+  out.app_stray_responses = tb->app->stray_responses();
+  out.controller_ticks_stalled = tb->sim.ticks_stalled();
+  out.events_processed = tb->sim.events_processed();
 
   if (config.record_alloc_timelines) {
     for (int i = 0; i < tb->app->service_count(); ++i) {

@@ -20,6 +20,7 @@
 
 #include "app/workloads.hpp"
 #include "controllers/targets.hpp"
+#include "fault/fault_injector.hpp"
 #include "sim/timeline.hpp"
 #include "workload/load_generator.hpp"
 
@@ -98,6 +99,21 @@ struct ExperimentConfig {
   SimTime net_delay_len = 0;
   SimTime net_delay_period = 10 * kSecond;
 
+  /// Deterministic fault schedule (chaos experiments). Empty = no faults and
+  /// a bit-identical pre-fault event sequence. Window times are absolute
+  /// simulation times (warmup included), matching net_delay_* semantics.
+  FaultPlan fault_plan;
+
+  /// RPC retransmission policy applied to BOTH the application's child RPCs
+  /// and the client's requests. Required for requests to survive packet
+  /// loss; leave disabled for fault-free runs.
+  RpcRetryPolicy rpc_retry;
+
+  /// Extra time simulated after measure_end with the generator stopped, so
+  /// retried requests drain before results are read. Chaos runs should set
+  /// this to at least the retry policy's worst-case backoff sum.
+  SimTime drain = 0;
+
   /// IdealOracle detection delay (Fig. 4).
   SimTime ideal_detection_delay = 200 * kMicrosecond;
   SimTime ideal_drain_window = 500 * kMillisecond;
@@ -129,6 +145,14 @@ struct ExperimentResult {
   std::uint64_t fr_packets = 0;
   std::uint64_t fr_violations = 0;
   std::uint64_t fr_boosts = 0;
+
+  /// Fault-injection footprint (all zero for fault-free runs).
+  FaultStats faults;
+  std::uint64_t app_rpc_retries = 0;
+  std::uint64_t app_rpc_failures = 0;
+  std::uint64_t app_stray_responses = 0;
+  std::uint64_t controller_ticks_stalled = 0;
+  std::uint64_t events_processed = 0;
 
   /// Optional traces.
   std::vector<ContainerTrace> alloc_traces;

@@ -1,0 +1,237 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sg {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kPacketDrop: return "drop";
+    case FaultKind::kPacketDup: return "dup";
+    case FaultKind::kPacketDelay: return "delay";
+    case FaultKind::kNodeSlowdown: return "slow";
+    case FaultKind::kNodeFreeze: return "freeze";
+    case FaultKind::kControllerStall: return "stall";
+  }
+  return "?";
+}
+
+namespace {
+
+std::optional<FaultKind> kind_from_string(const std::string& s) {
+  if (s == "drop") return FaultKind::kPacketDrop;
+  if (s == "dup") return FaultKind::kPacketDup;
+  if (s == "delay") return FaultKind::kPacketDelay;
+  if (s == "slow") return FaultKind::kNodeSlowdown;
+  if (s == "freeze") return FaultKind::kNodeFreeze;
+  if (s == "stall") return FaultKind::kControllerStall;
+  return std::nullopt;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t next = s.find(sep, pos);
+    if (next == std::string::npos) {
+      out.push_back(s.substr(pos));
+      break;
+    }
+    out.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  std::size_t e = s.find_last_not_of(" \t");
+  if (b == std::string::npos) return "";
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& spec,
+                                          std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<FaultPlan> {
+    if (error) *error = "fault plan: " + msg;
+    return std::nullopt;
+  };
+
+  FaultPlan plan;
+  for (const std::string& raw : split(spec, ';')) {
+    const std::string entry = trim(raw);
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      return fail("window '" + entry + "' missing 'kind:' prefix");
+    }
+    const auto kind = kind_from_string(trim(entry.substr(0, colon)));
+    if (!kind) {
+      return fail("unknown fault kind '" + entry.substr(0, colon) + "'");
+    }
+    FaultWindow w;
+    w.kind = *kind;
+    SimTime len = 0;
+    for (const std::string& kv_raw : split(entry.substr(colon + 1), ',')) {
+      const std::string kv = trim(kv_raw);
+      if (kv.empty()) continue;
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        return fail("expected key=value, got '" + kv + "'");
+      }
+      const std::string key = trim(kv.substr(0, eq));
+      const std::string val = trim(kv.substr(eq + 1));
+      char* endp = nullptr;
+      const double num = std::strtod(val.c_str(), &endp);
+      if (endp == val.c_str() || *endp != '\0') {
+        return fail("non-numeric value '" + val + "' for key '" + key + "'");
+      }
+      if (key == "start_ms") {
+        w.start = static_cast<SimTime>(num * 1e6);
+      } else if (key == "len_ms") {
+        len = static_cast<SimTime>(num * 1e6);
+      } else if (key == "rate") {
+        w.rate = num;
+      } else if (key == "factor") {
+        w.factor = num;
+      } else if (key == "extra_us") {
+        w.extra_delay_ns = static_cast<SimTime>(num * 1e3);
+      } else if (key == "node") {
+        w.node = static_cast<int>(num);
+      } else {
+        return fail("unknown key '" + key + "'");
+      }
+    }
+    w.end = w.start + len;
+    plan.add(w);
+  }
+  if (!plan.validate(error)) return std::nullopt;
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::from_config(const Config& cfg,
+                                                std::string* error) {
+  if (!cfg.has("fault.plan")) return FaultPlan{};
+  return parse(cfg.get_string("fault.plan"), error);
+}
+
+bool FaultPlan::validate(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = "fault plan: " + msg;
+    return false;
+  };
+  for (const FaultWindow& w : windows_) {
+    const std::string tag = std::string(sg::to_string(w.kind));
+    if (w.start < 0) return fail(tag + " window starts before t=0");
+    if (w.end <= w.start) {
+      return fail(tag + " window needs a positive len_ms");
+    }
+    switch (w.kind) {
+      case FaultKind::kPacketDrop:
+      case FaultKind::kPacketDup:
+        if (w.rate < 0.0 || w.rate > 1.0) {
+          return fail(tag + " rate must be in [0, 1]");
+        }
+        break;
+      case FaultKind::kPacketDelay:
+        if (w.extra_delay_ns < 0) {
+          return fail("delay extra_us must be >= 0");
+        }
+        break;
+      case FaultKind::kNodeSlowdown:
+        if (w.factor <= 0.0 || w.factor > 1.0) {
+          return fail("slow factor must be in (0, 1]");
+        }
+        break;
+      case FaultKind::kNodeFreeze:
+      case FaultKind::kControllerStall:
+        break;
+    }
+  }
+  return true;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  char buf[160];
+  for (const FaultWindow& w : windows_) {
+    if (!out.empty()) out += ";";
+    out += sg::to_string(w.kind);
+    std::snprintf(buf, sizeof(buf), ":start_ms=%g,len_ms=%g",
+                  to_millis(w.start), to_millis(w.end - w.start));
+    out += buf;
+    switch (w.kind) {
+      case FaultKind::kPacketDrop:
+      case FaultKind::kPacketDup:
+        std::snprintf(buf, sizeof(buf), ",rate=%g", w.rate);
+        out += buf;
+        break;
+      case FaultKind::kPacketDelay:
+        std::snprintf(buf, sizeof(buf), ",extra_us=%g",
+                      to_micros(w.extra_delay_ns));
+        out += buf;
+        break;
+      case FaultKind::kNodeSlowdown:
+        std::snprintf(buf, sizeof(buf), ",factor=%g,node=%d", w.factor,
+                      w.node);
+        out += buf;
+        break;
+      case FaultKind::kNodeFreeze:
+        std::snprintf(buf, sizeof(buf), ",node=%d", w.node);
+        out += buf;
+        break;
+      case FaultKind::kControllerStall:
+        break;
+    }
+  }
+  return out;
+}
+
+double FaultPlan::drop_rate_at(SimTime t) const {
+  double keep = 1.0;
+  for (const FaultWindow& w : windows_) {
+    if (w.kind == FaultKind::kPacketDrop && w.active_at(t)) {
+      keep *= 1.0 - w.rate;
+    }
+  }
+  return 1.0 - keep;
+}
+
+double FaultPlan::dup_rate_at(SimTime t) const {
+  double keep = 1.0;
+  for (const FaultWindow& w : windows_) {
+    if (w.kind == FaultKind::kPacketDup && w.active_at(t)) {
+      keep *= 1.0 - w.rate;
+    }
+  }
+  return 1.0 - keep;
+}
+
+SimTime FaultPlan::extra_delay_at(SimTime t) const {
+  SimTime total = 0;
+  for (const FaultWindow& w : windows_) {
+    if (w.kind == FaultKind::kPacketDelay && w.active_at(t)) {
+      total += w.extra_delay_ns;
+    }
+  }
+  return total;
+}
+
+bool FaultPlan::controller_stalled_at(SimTime t) const {
+  for (const FaultWindow& w : windows_) {
+    if (w.kind == FaultKind::kControllerStall && w.active_at(t)) return true;
+  }
+  return false;
+}
+
+SimTime FaultPlan::horizon() const {
+  SimTime h = 0;
+  for (const FaultWindow& w : windows_) h = std::max(h, w.end);
+  return h;
+}
+
+}  // namespace sg

@@ -1,0 +1,118 @@
+// FaultPlan: a declarative, seed-deterministic schedule of fault windows.
+//
+// SurgeGuard's claim is graceful behaviour under disturbance, so the
+// reproduction must be testable under disturbance, not just the happy path.
+// A FaultPlan is a list of timed windows, each activating one fault class:
+//
+//   kPacketDrop     packets lost on the wire with probability `rate`
+//   kPacketDup      packets delivered twice with probability `rate`
+//   kPacketDelay    every packet pays `extra_delay_ns` more one-way latency
+//   kNodeSlowdown   containers on `node` execute at `factor` x normal speed
+//   kNodeFreeze     `node` loses all cores for the window, then restarts
+//                   with its pre-freeze allocation
+//   kControllerStall  controller decision ticks are skipped (missed ticks)
+//
+// The plan itself is pure data: the FaultInjector wires it into a concrete
+// testbed. Every stochastic draw (drop/dup coin flips) comes from an RNG
+// forked off the owning Simulator, so a (plan, seed) pair reproduces the
+// exact same fault timeline — which is what makes chaos tests assertable
+// rather than flaky.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/time.hpp"
+
+namespace sg {
+
+enum class FaultKind {
+  kPacketDrop,
+  kPacketDup,
+  kPacketDelay,
+  kNodeSlowdown,
+  kNodeFreeze,
+  kControllerStall,
+};
+
+const char* to_string(FaultKind k);
+
+/// One timed fault window [start, end). Fields beyond the timing are
+/// interpreted per kind (see the table above); `node` = -1 targets every
+/// node (node-scoped kinds only).
+struct FaultWindow {
+  FaultKind kind = FaultKind::kPacketDrop;
+  SimTime start = 0;
+  SimTime end = 0;
+  /// Per-packet probability for kPacketDrop / kPacketDup.
+  double rate = 0.0;
+  /// Execution-speed multiplier for kNodeSlowdown, in (0, 1].
+  double factor = 1.0;
+  /// Additional one-way packet delay for kPacketDelay.
+  SimTime extra_delay_ns = 0;
+  /// Target node for kNodeSlowdown / kNodeFreeze (-1 = all nodes).
+  int node = -1;
+
+  bool active_at(SimTime t) const { return t >= start && t < end; }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses the compact spec used by `sg_run --fault-plan` and the
+  /// `fault.plan` config key. Windows are `;`-separated; each is
+  /// `kind:key=value,key=value,...` with kind one of
+  /// drop | dup | delay | slow | freeze | stall and keys
+  /// start_ms, len_ms, rate, factor, extra_us, node. Example:
+  ///
+  ///   drop:start_ms=6000,len_ms=2000,rate=0.1;slow:node=0,start_ms=9000,len_ms=500,factor=0.25
+  ///
+  /// Returns nullopt and fills `error` on malformed specs.
+  static std::optional<FaultPlan> parse(const std::string& spec,
+                                        std::string* error = nullptr);
+
+  /// Reads the plan from a parsed config file: the `fault.plan` key holds
+  /// the same spec string parse() accepts. Absent key = empty plan; a
+  /// malformed value returns nullopt with `error` set.
+  static std::optional<FaultPlan> from_config(const Config& cfg,
+                                              std::string* error = nullptr);
+
+  void add(FaultWindow w) { windows_.push_back(w); }
+
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+  bool empty() const { return windows_.empty(); }
+  std::size_t size() const { return windows_.size(); }
+
+  /// Validates every window (positive length, rates in [0,1], factor in
+  /// (0,1], delay >= 0); fills `error` on the first violation.
+  bool validate(std::string* error = nullptr) const;
+
+  /// Serializes back to the spec grammar parse() accepts (round-trips).
+  std::string to_string() const;
+
+  /// --- point queries (used by the injector's wire hook) ---
+
+  /// Combined drop probability of all active kPacketDrop windows at t
+  /// (independent windows compose: 1 - prod(1 - rate_i)).
+  double drop_rate_at(SimTime t) const;
+
+  /// Combined duplication probability of active kPacketDup windows at t.
+  double dup_rate_at(SimTime t) const;
+
+  /// Sum of active kPacketDelay windows' extra delay at t.
+  SimTime extra_delay_at(SimTime t) const;
+
+  /// True when a kControllerStall window is active at t.
+  bool controller_stalled_at(SimTime t) const;
+
+  /// Last window end (0 for an empty plan): the horizon a drain must cover.
+  SimTime horizon() const;
+
+ private:
+  std::vector<FaultWindow> windows_;
+};
+
+}  // namespace sg

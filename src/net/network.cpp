@@ -32,6 +32,27 @@ SimTime Network::sample_latency(int src_node, int dst_node) {
 }
 
 void Network::send(int src_node, const RpcPacket& pkt) {
+  if (fault_hook_ != nullptr) {
+    const PacketFate fate = fault_hook_->on_send(pkt);
+    if (fate.drop) {
+      // Lost on the wire: neither rx hooks nor the receiver ever see it.
+      ++packets_dropped_;
+      return;
+    }
+    const SimTime latency =
+        sample_latency(src_node, pkt.dst_node) + fate.extra_delay_ns;
+    sim_.schedule_after(latency, [this, pkt]() { deliver(pkt); });
+    if (fate.duplicate) {
+      ++packets_duplicated_;
+      // The duplicate travels independently: its own latency draw (plus the
+      // same fault delay), its own delivery, its own trip through the rx
+      // hook chain.
+      const SimTime dup_latency =
+          sample_latency(src_node, pkt.dst_node) + fate.extra_delay_ns;
+      sim_.schedule_after(dup_latency, [this, pkt]() { deliver(pkt); });
+    }
+    return;
+  }
   const SimTime latency = sample_latency(src_node, pkt.dst_node);
   // Packets are value types: the copy in the closure is the wire copy.
   sim_.schedule_after(latency, [this, pkt]() { deliver(pkt); });

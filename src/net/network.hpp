@@ -28,6 +28,28 @@ class RxHook {
   virtual void on_packet(const RpcPacket& pkt) = 0;
 };
 
+/// Fate of one packet crossing the wire, decided by the fault hook at send
+/// time. The default fate is clean delivery.
+struct PacketFate {
+  /// Packet is lost on the wire: never delivered, hooks never see it.
+  bool drop = false;
+  /// Packet is delivered twice (independent latency draws), modeling
+  /// at-least-once link-layer retransmission. Each copy runs the rx hook
+  /// chain and the receiver callback once.
+  bool duplicate = false;
+  /// Additional one-way delay for this packet (both copies when duplicated).
+  SimTime extra_delay_ns = 0;
+};
+
+/// Wire-level fault decision point (the sg::fault attachment). Consulted
+/// once per send(); must be deterministic given the owning simulator's RNG
+/// state so runs stay bit-reproducible per seed.
+class PacketFaultHook {
+ public:
+  virtual ~PacketFaultHook() = default;
+  virtual PacketFate on_send(const RpcPacket& pkt) = 0;
+};
+
 struct NetworkLatencyModel {
   SimTime same_node_ns = 15 * kMicrosecond;   // loopback RPC stack overhead
   SimTime cross_node_ns = 40 * kMicrosecond;  // ToR-switch hop
@@ -67,9 +89,16 @@ class Network {
   /// experiments).
   void set_extra_delay(SimTime d) { model_.extra_delay_ns = d; }
 
+  /// Installs the wire-level fault hook (nullptr clears it). Non-owning;
+  /// the hook must outlive the network. With no hook installed, send() takes
+  /// the exact pre-fault path (bit-identical baseline runs).
+  void set_fault_hook(PacketFaultHook* hook) { fault_hook_ = hook; }
+
   const NetworkLatencyModel& model() const { return model_; }
 
   std::uint64_t packets_delivered() const { return packets_delivered_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+  std::uint64_t packets_duplicated() const { return packets_duplicated_; }
 
  private:
   SimTime sample_latency(int src_node, int dst_node);
@@ -81,7 +110,10 @@ class Network {
   std::unordered_map<int, Receiver> receivers_;
   Receiver client_receiver_;
   std::unordered_map<int, std::vector<RxHook*>> hooks_;
+  PacketFaultHook* fault_hook_ = nullptr;
   std::uint64_t packets_delivered_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t packets_duplicated_ = 0;
 };
 
 }  // namespace sg

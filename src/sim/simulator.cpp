@@ -41,14 +41,23 @@ void Simulator::run_to_completion() {
 }
 
 void Simulator::schedule_periodic(SimTime start, SimTime period,
-                                  std::function<bool()> fn) {
+                                  std::function<bool()> fn,
+                                  TickClass tick_class) {
   SG_ASSERT_MSG(period > 0, "periodic event needs a positive period");
   // Each firing reschedules itself. Only event callbacks hold strong
   // references to the closure; the closure holds a weak one, so the chain is
   // freed as soon as fn() returns false or the queue is destroyed (no cycle).
   auto fire = std::make_shared<std::function<void()>>();
   std::weak_ptr<std::function<void()>> weak_fire = fire;
-  *fire = [this, period, fn = std::move(fn), weak_fire]() {
+  *fire = [this, period, fn = std::move(fn), weak_fire, tick_class]() {
+    if (tick_gate_ && !tick_gate_(tick_class)) {
+      // Stalled: the tick is missed, but the chain survives the window.
+      ++ticks_stalled_;
+      if (auto strong = weak_fire.lock()) {
+        schedule_after(period, [strong]() { (*strong)(); });
+      }
+      return;
+    }
     if (!fn()) return;
     if (auto strong = weak_fire.lock()) {
       schedule_after(period, [strong]() { (*strong)(); });

@@ -48,16 +48,38 @@ class Simulator {
   std::uint64_t events_processed() const { return events_processed_; }
   std::size_t events_pending() const { return queue_.size(); }
 
+  /// Class of a periodic tick, used by fault injection to stall specific
+  /// consumers (controller decision loops) without touching others (metric
+  /// publication).
+  enum class TickClass { kDefault, kController };
+
   /// Registers a periodic tick: fn runs every `period` starting at `start`,
   /// until it returns false. Used for controller decision loops.
+  ///
+  /// When a tick gate is installed and vetoes a firing, fn is skipped for
+  /// that period (the tick is "missed") but the chain keeps rescheduling —
+  /// this models a stalled controller that resumes after the stall window.
   void schedule_periodic(SimTime start, SimTime period,
-                         std::function<bool()> fn);
+                         std::function<bool()> fn,
+                         TickClass tick_class = TickClass::kDefault);
+
+  /// Installs the periodic-tick gate (nullptr clears it). The gate returns
+  /// false to veto a firing of the given class. Installed by the fault
+  /// injector; at most one gate exists per simulator.
+  void set_tick_gate(std::function<bool(TickClass)> gate) {
+    tick_gate_ = std::move(gate);
+  }
+
+  /// Periodic firings vetoed by the tick gate so far.
+  std::uint64_t ticks_stalled() const { return ticks_stalled_; }
 
  private:
   SimTime now_ = 0;
   EventQueue queue_;
   Rng rng_;
   std::uint64_t events_processed_ = 0;
+  std::function<bool(TickClass)> tick_gate_;
+  std::uint64_t ticks_stalled_ = 0;
 };
 
 }  // namespace sg

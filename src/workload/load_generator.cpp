@@ -60,23 +60,68 @@ void LoadGenerator::schedule_next_arrival() {
 }
 
 void LoadGenerator::issue_request() {
+  const RequestId id = next_request_++;
+  const SimTime now = sim_.now();
+  ++issued_;
+  Outstanding& o = outstanding_[id];
+  o.start = now;
+  o.attempt = 0;
+  if (options_.retry.enabled) {
+    o.timer = sim_.schedule_after(options_.retry.timeout_for_attempt(0),
+                                  [this, id]() { on_request_timeout(id); });
+  }
+  send_request(id, now);
+}
+
+void LoadGenerator::send_request(RequestId id, SimTime start_time) {
   RpcPacket pkt;
-  pkt.request_id = next_request_++;
+  pkt.request_id = id;
   pkt.call_id = 0;
   pkt.src_container = kClientEndpoint;
   pkt.src_node = kClientNode;
   pkt.dst_container = app_.entry_container();
   pkt.dst_node = app_.entry_node();
   pkt.is_response = false;
-  pkt.start_time = sim_.now();  // SurgeGuard startTime stamped at the source
+  pkt.start_time = start_time;  // SurgeGuard startTime stamped at the source
   pkt.upscale = 0;
-  ++issued_;
   network_.send(kClientNode, pkt);
 }
 
+void LoadGenerator::on_request_timeout(RequestId id) {
+  const auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) return;  // completed meanwhile
+  Outstanding& o = it->second;
+  if (o.attempt < options_.retry.max_retries) {
+    ++o.attempt;
+    ++retries_;
+    o.timer =
+        sim_.schedule_after(options_.retry.timeout_for_attempt(o.attempt),
+                            [this, id]() { on_request_timeout(id); });
+    // The retransmission keeps the ORIGINAL start_time: latency is measured
+    // from the client's first attempt, so retries land in the tail.
+    send_request(id, o.start);
+    return;
+  }
+  // Retries exhausted: the client gives up. Accounted as dropped, never as
+  // a completion — conservation stays exact.
+  ++dropped_;
+  outstanding_.erase(it);
+}
+
 void LoadGenerator::on_response(const RpcPacket& pkt) {
+  const auto it = outstanding_.find(pkt.request_id);
+  if (it == outstanding_.end()) {
+    // Response for a request already completed (dup faults / a retransmit
+    // race) or already abandoned. Counted, not recorded: one completion per
+    // request.
+    ++duplicate_responses_;
+    return;
+  }
+  if (it->second.timer != kInvalidEvent) sim_.cancel(it->second.timer);
   const SimTime now = sim_.now();
-  const SimTime latency = now - pkt.start_time;
+  const SimTime latency = now - it->second.start;
+  outstanding_.erase(it);
+  ++completed_total_;
   vv_.record_completion(now, latency);
   if (now >= measure_start() && now < measure_end()) {
     histogram_.record(latency);
@@ -89,6 +134,11 @@ LoadGenResults LoadGenerator::results() {
   LoadGenResults r;
   r.issued = issued_;
   r.completed = completed_in_window_;
+  r.completed_total = completed_total_;
+  r.retries = retries_;
+  r.dropped = dropped_;
+  r.duplicate_responses = duplicate_responses_;
+  r.outstanding = outstanding_.size();
   r.violation_volume_ms_s =
       vv_.violation_volume_ms_s(measure_start(), measure_end());
   r.violation_duration_frac =

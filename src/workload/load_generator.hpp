@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 
 #include "app/application.hpp"
 #include "common/histogram.hpp"
@@ -37,11 +38,22 @@ struct LoadGenOptions {
 
   /// Output-latency bucketing for the violation-volume curve.
   SimTime vv_window = 5 * kMillisecond;
+
+  /// Client-side request retransmission (wrk2 atop a retrying RPC client).
+  /// A request's latency spans the ORIGINAL issue to the first completion,
+  /// so retries show up as tail latency, exactly as they would at a real
+  /// client. Requests abandoned after max_retries count as dropped.
+  RpcRetryPolicy retry;
 };
 
 struct LoadGenResults {
   std::uint64_t issued = 0;
   std::uint64_t completed = 0;  // completions inside the measure window
+  std::uint64_t completed_total = 0;  // completions over the whole run
+  std::uint64_t retries = 0;    // client retransmissions
+  std::uint64_t dropped = 0;    // requests abandoned (retries exhausted)
+  std::uint64_t duplicate_responses = 0;  // extra responses (dup faults)
+  std::uint64_t outstanding = 0;  // still in flight when results() was read
   double violation_volume_ms_s = 0.0;
   double violation_duration_frac = 0.0;
   SimTime p50 = 0;
@@ -79,9 +91,27 @@ class LoadGenerator {
   const ViolationVolumeTracker& vv_tracker() const { return vv_; }
   const LoadGenOptions& options() const { return options_; }
 
+  /// Requests issued but neither completed nor abandoned. Zero at drain is
+  /// the request-conservation invariant:
+  /// issued == completed_total + dropped + outstanding.
+  std::size_t outstanding() const { return outstanding_.size(); }
+
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t completed_total() const { return completed_total_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t client_retries() const { return retries_; }
+
  private:
+  struct Outstanding {
+    SimTime start = 0;             // original issue time (latency anchor)
+    int attempt = 0;               // 0 = initial send
+    EventId timer = kInvalidEvent; // armed only when retry is enabled
+  };
+
   void schedule_next_arrival();
   void issue_request();
+  void send_request(RequestId id, SimTime start_time);
+  void on_request_timeout(RequestId id);
   void on_response(const RpcPacket& pkt);
 
   Simulator& sim_;
@@ -96,6 +126,11 @@ class LoadGenerator {
   RequestId next_request_ = 1;
   std::uint64_t issued_ = 0;
   std::uint64_t completed_in_window_ = 0;
+  std::uint64_t completed_total_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicate_responses_ = 0;
+  std::unordered_map<RequestId, Outstanding> outstanding_;
   bool stopped_ = false;
 };
 

@@ -1,0 +1,193 @@
+// Determinism golden tests for the fault-injection subsystem: the fault
+// timeline is a pure function of (plan, seed). Same seed => bit-identical
+// runs (event counts, fault footprint, client-visible results); different
+// seeds => different fault timelines. Plus FaultPlan spec-grammar unit
+// tests (parse/round-trip/validation/window composition).
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace sg {
+namespace {
+
+using namespace sg::literals;
+
+// Every fault kind fires once inside the measurement window.
+constexpr const char* kAllKindsPlan =
+    "drop:start_ms=3000,len_ms=1500,rate=0.05;"
+    "dup:start_ms=3500,len_ms=1000,rate=0.05;"
+    "delay:start_ms=4500,len_ms=1000,extra_us=200;"
+    "slow:node=0,start_ms=5500,len_ms=400,factor=0.5;"
+    "freeze:node=0,start_ms=6100,len_ms=200;"
+    "stall:start_ms=6500,len_ms=500";
+
+ExperimentConfig chaos_config(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.workload = make_chain();
+  cfg.controller = ControllerKind::kSurgeGuard;
+  cfg.warmup = 2_s;
+  cfg.duration = 6_s;
+  cfg.seed = seed;
+  std::string error;
+  const auto plan = FaultPlan::parse(kAllKindsPlan, &error);
+  EXPECT_TRUE(plan.has_value()) << error;
+  cfg.fault_plan = *plan;
+  cfg.rpc_retry.enabled = true;
+  cfg.drain = 4_s;
+  return cfg;
+}
+
+// The run's observable footprint, compared field-by-field across replays.
+struct RunDigest {
+  std::uint64_t events = 0;
+  std::string faults;
+  std::uint64_t issued = 0;
+  std::uint64_t completed_total = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t app_retries = 0;
+  std::uint64_t ticks_stalled = 0;
+  double vv = 0.0;
+  SimTime p99 = 0;
+
+  bool operator==(const RunDigest& o) const {
+    return events == o.events && faults == o.faults && issued == o.issued &&
+           completed_total == o.completed_total && retries == o.retries &&
+           dropped == o.dropped && app_retries == o.app_retries &&
+           ticks_stalled == o.ticks_stalled && vv == o.vv && p99 == o.p99;
+  }
+};
+
+RunDigest digest_of(const ExperimentResult& r) {
+  RunDigest d;
+  d.events = r.events_processed;
+  d.faults = r.faults.digest();
+  d.issued = r.load.issued;
+  d.completed_total = r.load.completed_total;
+  d.retries = r.load.retries;
+  d.dropped = r.load.dropped;
+  d.app_retries = r.app_rpc_retries;
+  d.ticks_stalled = r.controller_ticks_stalled;
+  d.vv = r.load.violation_volume_ms_s;
+  d.p99 = r.load.p99;
+  return d;
+}
+
+TEST(FaultDeterminismTest, SameSeedReplaysBitIdentically) {
+  const ProfileResult profile = profile_workload(make_chain(), 1);
+  const RunDigest a = digest_of(run_experiment(chaos_config(31), profile));
+  const RunDigest b = digest_of(run_experiment(chaos_config(31), profile));
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(a.issued, b.issued);
+  EXPECT_EQ(a.completed_total, b.completed_total);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.app_retries, b.app_retries);
+  EXPECT_EQ(a.ticks_stalled, b.ticks_stalled);
+  EXPECT_EQ(a.vv, b.vv);  // exact: bit-identical event sequences
+  EXPECT_EQ(a.p99, b.p99);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(FaultDeterminismTest, DifferentSeedsProduceDifferentFaultTimelines) {
+  const ProfileResult profile = profile_workload(make_chain(), 1);
+  const RunDigest a = digest_of(run_experiment(chaos_config(31), profile));
+  const RunDigest b = digest_of(run_experiment(chaos_config(32), profile));
+  // Thousands of independent coin flips: the per-kind fault counts (and
+  // hence the digests) diverge with overwhelming probability.
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.faults, b.faults);
+}
+
+TEST(FaultDeterminismTest, EveryFaultKindFires) {
+  const ProfileResult profile = profile_workload(make_chain(), 1);
+  const ExperimentResult r = run_experiment(chaos_config(31), profile);
+  EXPECT_GT(r.faults.packets_dropped, 0u);
+  EXPECT_GT(r.faults.packets_duplicated, 0u);
+  EXPECT_GT(r.faults.packets_delayed, 0u);
+  EXPECT_EQ(r.faults.node_slowdowns, 1u);
+  EXPECT_EQ(r.faults.node_freezes, 1u);
+  EXPECT_EQ(r.faults.node_restarts, 1u);
+  EXPECT_GT(r.controller_ticks_stalled, 0u);
+  // The chaos run still drains: conservation and zero stranded requests.
+  EXPECT_EQ(r.load.issued,
+            r.load.completed_total + r.load.dropped + r.load.outstanding);
+  EXPECT_EQ(r.load.outstanding, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan spec grammar.
+
+TEST(FaultPlanTest, ToStringRoundTrips) {
+  std::string error;
+  const auto plan = FaultPlan::parse(kAllKindsPlan, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  const std::string rendered = plan->to_string();
+  const auto reparsed = FaultPlan::parse(rendered, &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(reparsed->to_string(), rendered);
+  EXPECT_EQ(reparsed->windows().size(), plan->windows().size());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(FaultPlan::parse("explode:start_ms=0,len_ms=1", &error));
+  EXPECT_NE(error.find("unknown fault kind"), std::string::npos);
+  EXPECT_FALSE(
+      FaultPlan::parse("drop:start_ms=0,len_ms=1,rate=1.5", &error));
+  EXPECT_FALSE(FaultPlan::parse("drop:start_ms=0,rate=0.1", &error))
+      << "a window without len_ms must be rejected";
+  EXPECT_FALSE(FaultPlan::parse("drop:start_ms=zero,len_ms=1", &error));
+  EXPECT_FALSE(FaultPlan::parse("drop start_ms=0", &error));
+  EXPECT_FALSE(
+      FaultPlan::parse("slow:start_ms=0,len_ms=1,factor=0", &error));
+}
+
+TEST(FaultPlanTest, EmptySpecIsEmptyPlan) {
+  std::string error;
+  const auto plan = FaultPlan::parse("", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_TRUE(plan->empty());
+  EXPECT_EQ(plan->horizon(), 0);
+}
+
+TEST(FaultPlanTest, OverlappingDropWindowsCompose) {
+  std::string error;
+  const auto plan = FaultPlan::parse(
+      "drop:start_ms=0,len_ms=10,rate=0.5;drop:start_ms=5,len_ms=10,rate=0.5",
+      &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  // Independent losses compose as 1 - prod(1 - rate_i).
+  EXPECT_DOUBLE_EQ(plan->drop_rate_at(2 * kMillisecond), 0.5);
+  EXPECT_DOUBLE_EQ(plan->drop_rate_at(7 * kMillisecond), 0.75);
+  EXPECT_DOUBLE_EQ(plan->drop_rate_at(12 * kMillisecond), 0.5);
+  EXPECT_DOUBLE_EQ(plan->drop_rate_at(20 * kMillisecond), 0.0);
+  EXPECT_EQ(plan->horizon(), 15 * kMillisecond);
+}
+
+TEST(FaultPlanTest, DelayWindowsAdd) {
+  std::string error;
+  const auto plan = FaultPlan::parse(
+      "delay:start_ms=0,len_ms=10,extra_us=100;"
+      "delay:start_ms=5,len_ms=10,extra_us=50",
+      &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_EQ(plan->extra_delay_at(2 * kMillisecond), 100 * kMicrosecond);
+  EXPECT_EQ(plan->extra_delay_at(7 * kMillisecond), 150 * kMicrosecond);
+  EXPECT_EQ(plan->extra_delay_at(12 * kMillisecond), 50 * kMicrosecond);
+}
+
+TEST(FaultPlanTest, StallWindowHalfOpen) {
+  std::string error;
+  const auto plan =
+      FaultPlan::parse("stall:start_ms=10,len_ms=5", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_FALSE(plan->controller_stalled_at(10 * kMillisecond - 1));
+  EXPECT_TRUE(plan->controller_stalled_at(10 * kMillisecond));
+  EXPECT_TRUE(plan->controller_stalled_at(15 * kMillisecond - 1));
+  EXPECT_FALSE(plan->controller_stalled_at(15 * kMillisecond));
+}
+
+}  // namespace
+}  // namespace sg

@@ -148,6 +148,128 @@ TEST(NetworkTest, MultipleHooksChainInOrder) {
   EXPECT_EQ(b.seen.size(), 1u);
 }
 
+// Appends a tag to a shared log, exposing the exact hook/receiver sequence.
+class TaggingHook : public RxHook {
+ public:
+  TaggingHook(std::vector<std::string>* log, std::string tag)
+      : log_(log), tag_(std::move(tag)) {}
+  void on_packet(const RpcPacket&) override { log_->push_back(tag_); }
+
+ private:
+  std::vector<std::string>* log_;
+  std::string tag_;
+};
+
+TEST(NetworkTest, HookChainRunsInRegistrationOrderPerDelivery) {
+  Simulator sim;
+  Network net(sim);
+  std::vector<std::string> log;
+  TaggingHook a(&log, "a"), b(&log, "b"), c(&log, "c");
+  net.add_rx_hook(0, &a);
+  net.add_rx_hook(0, &b);
+  net.add_rx_hook(0, &c);
+  net.register_receiver(1, [&](const RpcPacket&) { log.push_back("rx"); });
+  net.send(0, make_packet(1, 0));
+  net.send(0, make_packet(1, 0));
+  sim.run_to_completion();
+  const std::vector<std::string> expected = {"a", "b", "c", "rx",
+                                             "a", "b", "c", "rx"};
+  EXPECT_EQ(log, expected);
+}
+
+// Scripted wire-level fault hook: returns one fixed fate for every packet.
+class ScriptedFaultHook : public PacketFaultHook {
+ public:
+  PacketFate fate;
+  int consulted = 0;
+  PacketFate on_send(const RpcPacket&) override {
+    ++consulted;
+    return fate;
+  }
+};
+
+TEST(NetworkFaultTest, DroppedPacketInvisibleToHooksAndReceiver) {
+  Simulator sim;
+  Network net(sim);
+  ScriptedFaultHook fault;
+  fault.fate.drop = true;
+  net.set_fault_hook(&fault);
+  CountingHook rx_hook;
+  net.add_rx_hook(0, &rx_hook);
+  int received = 0;
+  net.register_receiver(1, [&](const RpcPacket&) { ++received; });
+  net.send(0, make_packet(1, 0));
+  sim.run_to_completion();
+  EXPECT_EQ(fault.consulted, 1);
+  // Lost on the wire: neither the rx hook chain nor the receiver sees it.
+  EXPECT_EQ(rx_hook.seen.size(), 0u);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.packets_dropped(), 1u);
+  EXPECT_EQ(net.packets_delivered(), 0u);
+}
+
+TEST(NetworkFaultTest, DuplicatedPacketTraversesHookChainOncePerDelivery) {
+  Simulator sim;
+  NetworkLatencyModel model;
+  model.jitter = 0.0;
+  Network net(sim, model);
+  ScriptedFaultHook fault;
+  fault.fate.duplicate = true;
+  net.set_fault_hook(&fault);
+  CountingHook a, b;
+  net.add_rx_hook(0, &a);
+  net.add_rx_hook(0, &b);
+  int received = 0;
+  net.register_receiver(1, [&](const RpcPacket&) { ++received; });
+  net.send(0, make_packet(1, 0));
+  sim.run_to_completion();
+  // One send, consulted once, delivered twice; every hook sees each copy
+  // exactly once (never zero, never doubled per copy).
+  EXPECT_EQ(fault.consulted, 1);
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(a.seen.size(), 2u);
+  EXPECT_EQ(b.seen.size(), 2u);
+  EXPECT_EQ(net.packets_duplicated(), 1u);
+  EXPECT_EQ(net.packets_delivered(), 2u);
+}
+
+TEST(NetworkFaultTest, ExtraDelayShiftsDeliveryAndHooksSeeDelayedCopy) {
+  Simulator sim;
+  NetworkLatencyModel model;
+  model.jitter = 0.0;
+  Network net(sim, model);
+  ScriptedFaultHook fault;
+  fault.fate.extra_delay_ns = 1 * kMillisecond;
+  net.set_fault_hook(&fault);
+  CountingHook rx_hook;
+  net.add_rx_hook(0, &rx_hook);
+  SimTime at = 0;
+  net.register_receiver(1, [&](const RpcPacket&) { at = sim.now(); });
+  net.send(0, make_packet(1, 0));
+  sim.run_to_completion();
+  EXPECT_EQ(at, model.same_node_ns + 1 * kMillisecond);
+  // The delayed packet is still delivered (and hooked) exactly once.
+  EXPECT_EQ(rx_hook.seen.size(), 1u);
+  EXPECT_EQ(net.packets_delivered(), 1u);
+  EXPECT_EQ(net.packets_dropped(), 0u);
+}
+
+TEST(NetworkFaultTest, ClearingFaultHookRestoresCleanDelivery) {
+  Simulator sim;
+  Network net(sim);
+  ScriptedFaultHook fault;
+  fault.fate.drop = true;
+  net.set_fault_hook(&fault);
+  net.set_fault_hook(nullptr);
+  int received = 0;
+  net.register_receiver(1, [&](const RpcPacket&) { ++received; });
+  net.send(0, make_packet(1, 0));
+  sim.run_to_completion();
+  EXPECT_EQ(fault.consulted, 0);
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(net.packets_dropped(), 0u);
+}
+
 TEST(NetworkTest, PacketMetadataPreserved) {
   Simulator sim;
   Network net(sim);

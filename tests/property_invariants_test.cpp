@@ -2,9 +2,12 @@
 // (seeded, reproducible) operation sequences.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "app/threadpool.hpp"
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
+#include "core/experiment.hpp"
 #include "sim/timeline.hpp"
 
 namespace sg {
@@ -168,6 +171,132 @@ TEST_P(TimelinePropertyTest, PointwiseMatchesIntegral) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TimelinePropertyTest,
                          ::testing::Values(31, 32, 33));
+
+// ---------------------------------------------------------------------------
+// Request conservation under packet loss: at drain, every issued request is
+// accounted for exactly once — completed, abandoned, or still in flight —
+// at every loss rate, including the armed-but-never-firing rate 0.
+class FaultConservationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FaultConservationTest, IssuedEqualsCompletedPlusDroppedPlusInFlight) {
+  const double rate = GetParam();
+  ExperimentConfig cfg;
+  cfg.workload = make_chain();
+  cfg.controller = ControllerKind::kSurgeGuard;
+  cfg.warmup = 2 * kSecond;
+  cfg.duration = 4 * kSecond;
+  cfg.surge_len = 0;
+  cfg.seed = 5;
+  cfg.rpc_retry.enabled = true;
+  cfg.drain = 5 * kSecond;
+  char spec[96];
+  std::snprintf(spec, sizeof(spec),
+                "drop:start_ms=2500,len_ms=1500,rate=%g", rate);
+  std::string error;
+  const auto plan = FaultPlan::parse(spec, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  cfg.fault_plan = *plan;
+
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.load.issued,
+            r.load.completed_total + r.load.dropped + r.load.outstanding);
+  // The drain outlives the recovery for this plan: nothing stays in flight.
+  EXPECT_EQ(r.load.outstanding, 0u);
+  if (rate == 0.0) {
+    // An armed hook at rate 0 must behave exactly like no faults.
+    EXPECT_EQ(r.faults.packets_dropped, 0u);
+    EXPECT_EQ(r.load.retries, 0u);
+    EXPECT_EQ(r.app_rpc_retries, 0u);
+  } else {
+    EXPECT_GT(r.faults.packets_dropped, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DropRates, FaultConservationTest,
+                         ::testing::Values(0.0, 0.01, 0.1));
+
+// ---------------------------------------------------------------------------
+// Node freeze/restart: through random grant/revoke storms interleaved with
+// freeze/restart cycles, the core ledger stays within [0, app_cores], the
+// frozen node rejects reallocation, and restart restores the pre-freeze
+// allocation exactly.
+TEST(NodeFreezePropertyTest, LedgerBoundedThroughFreezeRestartStorm) {
+  Simulator sim(23);
+  Rng rng(24);
+  Cluster cluster(sim);
+  cluster.add_node(64, 19);
+  std::vector<Container*> cs;
+  for (int i = 0; i < 6; ++i) {
+    cs.push_back(&cluster.add_container("f" + std::to_string(i), 0, 3));
+  }
+  Node& node = cluster.node(0);
+  const int total = node.app_cores();
+
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    for (int step = 0; step < 50; ++step) {
+      Container* c = cs[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+      if (rng.bernoulli(0.5)) {
+        node.grant(c, static_cast<int>(rng.uniform_int(1, 3)));
+      } else {
+        node.revoke(c, static_cast<int>(rng.uniform_int(1, 3)), 1);
+      }
+      ASSERT_GE(node.free_cores(), 0);
+      ASSERT_EQ(node.allocated_cores() + node.free_cores(), total);
+      for (Container* cc : cs) {
+        ASSERT_GE(cc->cores(), 1);
+        ASSERT_LE(cc->cores(), total);
+      }
+    }
+
+    std::vector<int> before;
+    for (Container* cc : cs) before.push_back(cc->cores());
+    node.freeze();
+    ASSERT_TRUE(node.frozen());
+    for (Container* cc : cs) ASSERT_EQ(cc->cores(), 0);
+    ASSERT_EQ(node.allocated_cores(), 0);
+    // Grant/revoke are rejected while frozen; allocations stay untouched.
+    ASSERT_EQ(node.grant(cs[0], 2), 0);
+    ASSERT_EQ(node.revoke(cs[1], 1, 0), 0);
+    for (Container* cc : cs) ASSERT_EQ(cc->cores(), 0);
+
+    node.restart();
+    ASSERT_FALSE(node.frozen());
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      ASSERT_EQ(cs[i]->cores(), before[i]) << "container " << i
+                                           << " not restored exactly";
+    }
+    ASSERT_EQ(node.allocated_cores() + node.free_cores(), total);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Speed-scale faults on the processor-sharing container: a freeze window
+// stalls progress exactly (no work lost, no work invented), and jobs never
+// disappear from the queue while stalled.
+TEST(PsConservationTest, SpeedScaleFreezeStallsAndResumesExactly) {
+  Simulator sim(41);
+  Container::Params params;
+  params.name = "frozen";
+  params.initial_cores = 1;
+  Container c(sim, std::move(params));
+
+  SimTime done_at = 0;
+  // 1ms of work at 1 core, reference frequency: finishes at t=1ms unfrozen.
+  c.submit(1'000'000.0, [&]() { done_at = sim.now(); });
+  // Freeze after 0.1ms of progress, thaw at 10ms.
+  sim.schedule_at(100'000, [&c]() { c.set_speed_scale(0.0); });
+  sim.schedule_at(5'000'000, [&c]() {
+    // Mid-freeze: the job is stalled but still queued.
+    EXPECT_EQ(c.active_jobs(), 1);
+  });
+  sim.schedule_at(10'000'000, [&c]() { c.set_speed_scale(1.0); });
+  sim.run_to_completion();
+  c.sync();
+  // 0.1ms ran, 9.9ms frozen, then the remaining 0.9ms: exact resume point.
+  EXPECT_EQ(done_at, 10'900'000);
+  EXPECT_EQ(c.active_jobs(), 0);
+  EXPECT_EQ(c.jobs_completed(), 1u);
+}
 
 }  // namespace
 }  // namespace sg

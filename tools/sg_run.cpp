@@ -9,8 +9,14 @@
 // histogram and the violation volume.
 //
 // Usage:
-//   sg_run <config-file> [--histogram] [--quiet]
+//   sg_run <config-file> [--histogram] [--quiet] [--fault-plan SPEC]
 // See sample_config at the repository root for all recognized keys.
+//
+// --fault-plan overrides the config file's fault.plan key with a chaos
+// schedule, e.g.
+//   --fault-plan "drop:start_ms=6000,len_ms=2000,rate=0.1;slow:node=0,start_ms=9000,len_ms=500,factor=0.25"
+// Faults are seed-deterministic: the same config + seed + plan reproduces
+// the identical fault timeline (see EXPERIMENTS.md "Chaos experiments").
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -46,9 +52,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   bool histogram = false, quiet = false;
+  const char* fault_spec = nullptr;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--histogram") == 0) histogram = true;
     if (std::strcmp(argv[i], "--quiet") == 0) quiet = true;
+    if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
+      fault_spec = argv[++i];
+    }
   }
 
   std::string error;
@@ -62,6 +72,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
+  if (fault_spec != nullptr) {
+    const auto plan = FaultPlan::parse(fault_spec, &error);
+    if (!plan) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    cfg->fault_plan = *plan;
+  }
+  if (!cfg->fault_plan.empty()) {
+    // Chaos runs retry by default (a dropped packet would otherwise strand
+    // its request forever) and drain past the last fault window. Explicit
+    // config keys still win.
+    if (!file_cfg->has("retry.enabled")) cfg->rpc_retry.enabled = true;
+    if (!file_cfg->has("drain_s")) cfg->drain = 5 * kSecond;
+  }
 
   if (!quiet) {
     std::printf("workload:   %s @ %.0f rps (%s, %s)\n",
@@ -72,6 +97,11 @@ int main(int argc, char** argv) {
                 to_string(cfg->controller), cfg->nodes, cfg->surge_mult,
                 format_time(cfg->surge_len).c_str(),
                 format_time(cfg->surge_period).c_str());
+    if (!cfg->fault_plan.empty()) {
+      std::printf("faults:     %s (retry %s)\n",
+                  cfg->fault_plan.to_string().c_str(),
+                  cfg->rpc_retry.enabled ? "on" : "off");
+    }
   }
 
   // Profile at low load (paper §IV), then apply any user-pinned targets.
@@ -109,6 +139,20 @@ int main(int argc, char** argv) {
     table.add_row({"fast-path packets inspected", std::to_string(r.fr_packets)});
     table.add_row({"fast-path violations", std::to_string(r.fr_violations)});
     table.add_row({"fast-path boosts", std::to_string(r.fr_boosts)});
+  }
+  if (!cfg->fault_plan.empty()) {
+    table.add_row({"faults injected", r.faults.digest()});
+    table.add_row({"client retries / dropped",
+                   std::to_string(r.load.retries) + " / " +
+                       std::to_string(r.load.dropped)});
+    table.add_row({"app rpc retries / failures",
+                   std::to_string(r.app_rpc_retries) + " / " +
+                       std::to_string(r.app_rpc_failures)});
+    table.add_row({"requests stranded", std::to_string(r.load.outstanding)});
+    if (r.controller_ticks_stalled > 0) {
+      table.add_row({"controller ticks stalled",
+                     std::to_string(r.controller_ticks_stalled)});
+    }
   }
   table.print();
 
