@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "trace/trace.hpp"
 
 namespace sg {
 
@@ -190,6 +191,15 @@ void Application::on_request(const RpcPacket& pkt) {
   v.time_from_start = now - pkt.start_time;
   v.arrived_upscale = pkt.upscale;
   v.reply_to = ReplyAddress{pkt.src_container, pkt.src_node, pkt.call_id};
+  v.traced = pkt.traced && cluster_.sim().trace_sink() != nullptr;
+  if (v.traced) {
+    // Open the own-work exec segment. sync() brings the share integral up
+    // to `now` so the delta read at completion is exact (state after sync()
+    // is bit-identical to what submit() below would produce anyway).
+    sr.container->sync();
+    v.exec_begin = now;
+    v.exec_share0 = sr.container->share_integral_ns();
+  }
   visits_.emplace(key, v);
   if (sr.index == 0) {
     ++in_flight_;
@@ -209,7 +219,22 @@ void Application::on_own_work_done(std::uint64_t key) {
   auto it = visits_.find(key);
   SG_ASSERT(it != visits_.end());
   Visit& v = it->second;
-  const ServiceSpec& spec = *services_[static_cast<std::size_t>(v.service)].spec;
+  ServiceRuntime& sr = services_[static_cast<std::size_t>(v.service)];
+  const ServiceSpec& spec = *sr.spec;
+  if (v.traced) {
+    if (TraceSink* trace = cluster_.sim().trace_sink()) {
+      TraceSpan span;
+      span.request_id = v.request_id;
+      span.kind = SpanKind::kExec;
+      span.container = sr.container->id();
+      span.begin = v.exec_begin;
+      span.end = cluster_.sim().now();
+      // We run inside the container's completion handler: the share
+      // integral is already advanced to now, so the delta is exact.
+      span.cpu_served_ns = sr.container->share_integral_ns() - v.exec_share0;
+      trace->add_span(span);
+    }
+  }
   if (spec.children.empty()) {
     finish_children(key);
     return;
@@ -237,7 +262,21 @@ void Application::begin_child(std::uint64_t key, std::size_t child_idx) {
   pool.acquire([this, key, child_idx, t0]() {
     auto vit = visits_.find(key);
     SG_ASSERT(vit != visits_.end());
-    vit->second.conn_wait += cluster_.sim().now() - t0;
+    Visit& v = vit->second;
+    const SimTime wait = cluster_.sim().now() - t0;
+    v.conn_wait += wait;
+    if (v.traced && wait > 0) {
+      if (TraceSink* trace = cluster_.sim().trace_sink()) {
+        TraceSpan span;
+        span.request_id = v.request_id;
+        span.kind = SpanKind::kConnWait;
+        span.container =
+            services_[static_cast<std::size_t>(v.service)].container->id();
+        span.begin = t0;
+        span.end = t0 + wait;
+        trace->add_span(span);
+      }
+    }
     send_child_rpc(key, child_idx);
   });
 }
@@ -262,6 +301,7 @@ void Application::send_child_rpc(std::uint64_t key, std::size_t child_idx,
   pkt.is_response = false;
   pkt.start_time = v.start_time;   // propagated unchanged (Fig. 8)
   pkt.upscale = outgoing_upscale(sr, v);
+  pkt.traced = v.traced;           // trace context propagates with the RPC
 
   PendingCall pc;
   pc.visit_key = key;
@@ -331,9 +371,17 @@ void Application::on_child_reply(std::uint64_t key, std::size_t child_idx) {
 void Application::finish_children(std::uint64_t key) {
   auto it = visits_.find(key);
   SG_ASSERT(it != visits_.end());
-  ServiceRuntime& sr = services_[static_cast<std::size_t>(it->second.service)];
+  Visit& v = it->second;
+  ServiceRuntime& sr = services_[static_cast<std::size_t>(v.service)];
   const double post = sr.spec->post_work_ns_mean;
   if (post > 0.0) {
+    if (v.traced) {
+      // Open the post-work exec segment; reply() closes it.
+      sr.container->sync();
+      v.post_span_open = true;
+      v.exec_begin = cluster_.sim().now();
+      v.exec_share0 = sr.container->share_integral_ns();
+    }
     const double work = sr.spec->work_sigma > 0.0
                             ? rng_.lognormal_mean(post, sr.spec->work_sigma)
                             : post;
@@ -359,6 +407,32 @@ void Application::reply(std::uint64_t key) {
   rec.upscale_hint = v.arrived_upscale > 0;
   sr.metrics.record_visit(rec);
 
+  if (v.traced) {
+    if (TraceSink* trace = cluster_.sim().trace_sink()) {
+      if (v.post_span_open) {
+        sr.container->sync();
+        TraceSpan post;
+        post.request_id = v.request_id;
+        post.kind = SpanKind::kExec;
+        post.container = sr.container->id();
+        post.begin = v.exec_begin;
+        post.end = now;
+        post.cpu_served_ns =
+            sr.container->share_integral_ns() - v.exec_share0;
+        trace->add_span(post);
+      }
+      TraceSpan visit;
+      visit.request_id = v.request_id;
+      visit.kind = SpanKind::kVisit;
+      visit.container = sr.container->id();
+      visit.begin = v.arrive;
+      visit.end = now;
+      visit.boost_active_ns = sr.container->freq_timeline().time_above(
+          v.arrive, now, static_cast<double>(sr.container->dvfs().min_mhz));
+      trace->add_span(visit);
+    }
+  }
+
   RpcPacket pkt;
   pkt.request_id = v.request_id;
   pkt.call_id = v.reply_to.call_id;
@@ -369,6 +443,7 @@ void Application::reply(std::uint64_t key) {
   pkt.is_response = true;
   pkt.start_time = v.start_time;
   pkt.upscale = 0;
+  pkt.traced = v.traced;
 
   if (sr.index == 0) {
     --in_flight_;

@@ -176,6 +176,12 @@ class Application {
     ReplyAddress reply_to;
     std::size_t next_child = 0;   // sequential fan-out cursor
     int pending_children = 0;     // parallel fan-out join counter
+
+    // --- trace context (sg::trace) ---
+    bool traced = false;          // propagated from the incoming packet
+    bool post_span_open = false;  // post-work exec segment pending in reply()
+    SimTime exec_begin = 0;       // open exec segment start
+    double exec_share0 = 0.0;     // container share integral at segment open
   };
 
   /// One in-flight child RPC awaiting its response (or a retransmission).

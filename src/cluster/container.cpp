@@ -41,6 +41,9 @@ void Container::advance() {
     energy_joules_ += params_.energy.energy_joules(busy, freq_,
                                                    params_.dvfs.ref_mhz, dt);
     busy_core_seconds_ += busy * to_seconds(dt);
+    // busy / N == min(1, cores/N): the common per-job core share.
+    share_integral_ns_ +=
+        static_cast<double>(dt) * busy / static_cast<double>(jobs_.size());
     vtime_ += static_cast<double>(dt) * rate();
   }
   // Allocated-but-idle cores poll (threadpools, RPC runtimes) and draw

@@ -103,6 +103,15 @@ class Container {
   /// Integrated busy-core-seconds (utilization numerator).
   double busy_core_seconds() const { return busy_core_seconds_; }
 
+  /// Integrated per-job core share: ∫ min(1, cores/N) dt over time with
+  /// jobs in flight, in nanoseconds. Under processor sharing every
+  /// in-flight job advances through "core possession" at exactly this
+  /// common rate, so the delta of this integral across a job's lifetime is
+  /// the time it effectively held a core — and wall minus delta is its
+  /// CPU-queue time. sg::trace reads it at span boundaries (both fall
+  /// inside event handlers where advance() has already run).
+  double share_integral_ns() const { return share_integral_ns_; }
+
   /// Allocation history; drives Fig. 14 and average-cores metrics.
   const StepTimeline& core_timeline() const { return core_timeline_; }
   const StepTimeline& freq_timeline() const { return freq_timeline_; }
@@ -143,6 +152,7 @@ class Container {
   // Accounting.
   double energy_joules_ = 0.0;
   double busy_core_seconds_ = 0.0;
+  double share_integral_ns_ = 0.0;
   std::uint64_t jobs_completed_ = 0;
   StepTimeline core_timeline_;
   StepTimeline freq_timeline_;

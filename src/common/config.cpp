@@ -137,6 +137,13 @@ std::vector<std::string> Config::keys_with_prefix(
   return out;
 }
 
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
 std::string Config::to_string() const {
   std::string out;
   for (const auto& [k, v] : values_) {

@@ -1,4 +1,4 @@
-#include "core/reporting.hpp"
+#include "common/table.hpp"
 
 #include <algorithm>
 #include <cstdio>
@@ -6,6 +6,14 @@
 #include "common/csv.hpp"
 
 namespace sg {
+
+std::size_t display_width(const std::string& s) {
+  std::size_t w = 0;
+  for (const char c : s) {
+    if ((static_cast<unsigned char>(c) & 0xC0) != 0x80) ++w;
+  }
+  return w;
+}
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
@@ -18,17 +26,17 @@ void TablePrinter::add_row(std::vector<std::string> cells) {
 std::string TablePrinter::render() const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t i = 0; i < headers_.size(); ++i)
-    widths[i] = headers_[i].size();
+    widths[i] = display_width(headers_[i]);
   for (const auto& row : rows_) {
     for (std::size_t i = 0; i < row.size(); ++i)
-      widths[i] = std::max(widths[i], row[i].size());
+      widths[i] = std::max(widths[i], display_width(row[i]));
   }
 
   auto render_row = [&](const std::vector<std::string>& row) {
     std::string line;
     for (std::size_t i = 0; i < row.size(); ++i) {
       line += row[i];
-      line.append(widths[i] - row[i].size() + 2, ' ');
+      line.append(widths[i] - display_width(row[i]) + 2, ' ');
     }
     while (!line.empty() && line.back() == ' ') line.pop_back();
     line += '\n';

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace sg {
 
@@ -18,6 +19,13 @@ void CaladanAlgo::start() {
 }
 
 void CaladanAlgo::tick() {
+  TraceSink* trace = env_.sim->trace_sink();
+  const auto audit = [&](DecisionKind kind, int container, int amount) {
+    if (trace != nullptr) {
+      trace->add_decision({env_.sim->now(), kind, "caladan",
+                           env_.node->id(), container, amount});
+    }
+  };
   struct Entry {
     Container* container;
     double queue_buildup;
@@ -37,7 +45,8 @@ void CaladanAlgo::tick() {
     // window (Caladan parks cores the moment they stop being needed).
     if (snap->queue_buildup < options_.idle_threshold &&
         busy < static_cast<double>(c->cores()) - 1.0 - options_.idle_margin) {
-      env_.node->revoke(c, options_.revoke_step, /*floor=*/1);
+      const int revoked = env_.node->revoke(c, options_.revoke_step, /*floor=*/1);
+      if (revoked > 0) audit(DecisionKind::kCoreRevoke, c->id(), revoked);
     }
   }
 
@@ -47,7 +56,8 @@ void CaladanAlgo::tick() {
     return a.queue_buildup > b.queue_buildup;
   });
   for (const Entry& e : queued) {
-    env_.node->grant(e.container, options_.grant_step);
+    const int granted = env_.node->grant(e.container, options_.grant_step);
+    if (granted > 0) audit(DecisionKind::kCoreGrant, e.container->id(), granted);
     SG_DEBUG << "[caladan n" << env_.node->id() << "] upscale "
              << e.container->name() << " qb=" << e.queue_buildup
              << " cores=" << e.container->cores();

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace sg {
 
@@ -26,6 +27,13 @@ double Escalator::exec_signal(const MetricsSnapshot& snap) const {
 
 void Escalator::tick() {
   ++tick_count_;
+  TraceSink* trace = env_.sim->trace_sink();
+  const auto audit = [&](DecisionKind kind, int container, int amount) {
+    if (trace != nullptr) {
+      trace->add_decision({env_.sim->now(), kind, "escalator",
+                           env_.node->id(), container, amount});
+    }
+  };
   std::unordered_map<int, int> scores;
   std::unordered_map<int, double> exec_ratio;
 
@@ -67,6 +75,7 @@ void Escalator::tick() {
         }
       }
       env_.app->set_upscale_stamp(id, options_.hint_depth);
+      audit(DecisionKind::kUpscaleStamp, id, options_.hint_depth);
     } else if (options_.use_new_metrics) {
       env_.app->set_upscale_stamp(id, 0);
     }
@@ -102,10 +111,18 @@ void Escalator::tick() {
             });
   for (const Candidate& cand : candidates) {
     const int granted = env_.node->grant(cand.container, options_.core_step);
+    if (granted > 0) {
+      audit(DecisionKind::kCoreGrant, cand.container->id(), granted);
+    }
     if (granted == 0 && options_.manage_frequency) {
       const DvfsModel& dvfs = cand.container->dvfs();
+      const FreqMhz was = cand.container->frequency();
       cand.container->set_frequency(cand.container->frequency() +
                                     options_.freq_step_levels * dvfs.step_mhz);
+      if (cand.container->frequency() != was) {
+        audit(DecisionKind::kFreqBoost, cand.container->id(),
+              static_cast<int>(cand.container->frequency()));
+      }
     } else if (granted > 0 && options_.manage_frequency &&
                cand.container->frequency() > cand.container->dvfs().min_mhz) {
       // Swap FirstResponder's stopgap frequency boost for the cores just
@@ -117,6 +134,8 @@ void Escalator::tick() {
       cand.container->set_frequency(
           cand.container->frequency() -
           options_.freq_step_levels * cand.container->dvfs().step_mhz);
+      audit(DecisionKind::kFreqLower, cand.container->id(),
+            static_cast<int>(cand.container->frequency()));
     }
     SG_DEBUG << "[escalator n" << env_.node->id() << "] upscale "
              << cand.container->name() << " score=" << cand.score
@@ -149,6 +168,7 @@ void Escalator::tick() {
       if (options_.manage_frequency && boosted) {
         c->set_frequency(c->frequency() -
                          options_.freq_step_levels * c->dvfs().step_mhz);
+        audit(DecisionKind::kFreqLower, id, static_cast<int>(c->frequency()));
       }
       // Parties' slack rule on score-0 containers. Two guards: (a) a
       // container still running above base frequency owes its low execution
@@ -159,7 +179,9 @@ void Escalator::tick() {
       if (!boosted && rit->second < options_.downscale_threshold) {
         if (++slack_streak_[id] >= options_.downscale_hold &&
             busy_.safe_to_revoke(c, options_.core_step)) {
-          env_.node->revoke(c, options_.core_step, /*floor=*/1);
+          const int revoked =
+              env_.node->revoke(c, options_.core_step, /*floor=*/1);
+          if (revoked > 0) audit(DecisionKind::kCoreRevoke, id, revoked);
           slack_streak_[id] = 0;
         }
       } else {
@@ -179,7 +201,8 @@ void Escalator::tick() {
         sens_.revocation_candidate(id, c->cores(),
                                    options_.sens_revoke_threshold) &&
         busy_.safe_to_revoke(c, options_.core_step, /*util_limit=*/0.9)) {
-      env_.node->revoke(c, options_.core_step, /*floor=*/1);
+      const int revoked = env_.node->revoke(c, options_.core_step, /*floor=*/1);
+      if (revoked > 0) audit(DecisionKind::kCoreRevoke, id, revoked);
       SG_DEBUG << "[escalator n" << env_.node->id() << "] sens-revoke "
                << c->name() << " cores=" << c->cores();
     }

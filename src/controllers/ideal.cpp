@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace sg {
 
@@ -65,8 +66,11 @@ void IdealOracleController::on_surge_detected(const SpikePattern::Window& w) {
 
     if (needed > c.cores()) {
       const int granted = env_.node->grant(&c, needed - c.cores());
-      if (granted < needed - c.cores() + granted) {
-        // Pool short: the oracle takes what exists (keeps the ledger honest).
+      if (granted > 0) {
+        if (TraceSink* trace = env_.sim->trace_sink()) {
+          trace->add_decision({env_.sim->now(), DecisionKind::kCoreGrant,
+                               "ideal", env_.node->id(), c.id(), granted});
+        }
       }
     }
     SG_DEBUG << "[ideal n" << env_.node->id() << "] surge detected, "
@@ -83,7 +87,14 @@ void IdealOracleController::restore_initial() {
     Container& c = env_.app->service_container(static_cast<int>(i));
     if (c.node() != env_.node->id()) continue;
     if (c.cores() > initial_cores_[i]) {
-      env_.node->revoke(&c, c.cores() - initial_cores_[i], initial_cores_[i]);
+      const int revoked = env_.node->revoke(&c, c.cores() - initial_cores_[i],
+                                            initial_cores_[i]);
+      if (revoked > 0) {
+        if (TraceSink* trace = env_.sim->trace_sink()) {
+          trace->add_decision({env_.sim->now(), DecisionKind::kCoreRevoke,
+                               "ideal", env_.node->id(), c.id(), revoked});
+        }
+      }
     }
   }
 }

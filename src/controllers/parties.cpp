@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace sg {
 
@@ -25,6 +26,13 @@ double PartiesController::violation_ratio(const MetricsSnapshot& snap,
 }
 
 void PartiesController::tick() {
+  TraceSink* trace = env_.sim->trace_sink();
+  const auto audit = [&](DecisionKind kind, int container, int amount) {
+    if (trace != nullptr) {
+      trace->add_decision({env_.sim->now(), kind, "parties",
+                           env_.node->id(), container, amount});
+    }
+  };
   struct Candidate {
     Container* container;
     double ratio;
@@ -66,6 +74,9 @@ void PartiesController::tick() {
   bool stole_this_tick = false;
   for (const Candidate& v : violators) {
     const int granted = env_.node->grant(v.container, options_.core_step);
+    if (granted > 0) {
+      audit(DecisionKind::kCoreGrant, v.container->id(), granted);
+    }
     if (granted < options_.core_step && !stole_this_tick && !calm.empty()) {
       // Pool dry: take a step from the calmest container (lowest ratio)
       // whose measured CPU usage actually fits in the smaller allocation —
@@ -85,7 +96,11 @@ void PartiesController::tick() {
         const int freed = env_.node->revoke(donor->container,
                                             options_.core_step, /*floor=*/1);
         if (freed > 0) {
-          env_.node->grant(v.container, freed);
+          audit(DecisionKind::kCoreRevoke, donor->container->id(), freed);
+          const int regranted = env_.node->grant(v.container, freed);
+          if (regranted > 0) {
+            audit(DecisionKind::kCoreGrant, v.container->id(), regranted);
+          }
           stole_this_tick = true;
         }
       }
@@ -99,8 +114,13 @@ void PartiesController::tick() {
   if (options_.manage_frequency) {
     for (const Candidate& v : violators) {
       const DvfsModel& dvfs = v.container->dvfs();
+      const FreqMhz was = v.container->frequency();
       v.container->set_frequency(v.container->frequency() +
                                  options_.freq_step_levels * dvfs.step_mhz);
+      if (v.container->frequency() != was) {
+        audit(DecisionKind::kFreqBoost, v.container->id(),
+              static_cast<int>(v.container->frequency()));
+      }
     }
   }
 
@@ -115,6 +135,8 @@ void PartiesController::tick() {
       const DvfsModel& dvfs = c.container->dvfs();
       c.container->set_frequency(c.container->frequency() -
                                  options_.freq_step_levels * dvfs.step_mhz);
+      audit(DecisionKind::kFreqLower, c.container->id(),
+            static_cast<int>(c.container->frequency()));
     }
     const int streak = slack_streak_[c.container->id()];
     if (streak >= options_.downscale_hold && streak > longest_streak) {
@@ -124,7 +146,11 @@ void PartiesController::tick() {
   }
   if (revoke_target != nullptr &&
       busy_.safe_to_revoke(revoke_target, options_.core_step)) {
-    env_.node->revoke(revoke_target, options_.core_step, /*floor=*/1);
+    const int revoked =
+        env_.node->revoke(revoke_target, options_.core_step, /*floor=*/1);
+    if (revoked > 0) {
+      audit(DecisionKind::kCoreRevoke, revoke_target->id(), revoked);
+    }
     slack_streak_[revoke_target->id()] = 0;
     SG_DEBUG << "[parties n" << env_.node->id() << "] downscale "
              << revoke_target->name()

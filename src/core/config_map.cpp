@@ -1,6 +1,51 @@
 #include "core/config_map.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+
 namespace sg {
+
+namespace {
+
+/// Exact keys experiment_from_config (and sg_run) consume. Kept in sync with
+/// the header's "Recognized keys" comment; core_config_map_test exercises
+/// the misspelling path.
+const char* const kKnownKeys[] = {
+    "workload", "controller", "nodes", "warmup_s", "duration_s", "qos_mult",
+    "target_mult", "seed", "rate_rps",
+    "surge.mult", "surge.len_ms", "surge.period_s",
+    "netdelay.extra_us", "netdelay.len_ms", "netdelay.period_s",
+    "fault.plan",
+    "retry.enabled", "retry.timeout_ms", "retry.backoff", "retry.max",
+    "drain_s",
+    "membw.node_bw_gbs", "membw.demand_per_core_gbs",
+    "ideal.detection_delay_ms",
+    "record.alloc_timelines", "record.latency_series",
+    "trace.enabled", "trace.sample", "trace.capacity",
+    "trace.keep_violators", "trace.out",
+};
+
+bool is_known_key(const std::string& key) {
+  for (const char* k : kKnownKeys) {
+    if (key == k) return true;
+  }
+  // service.<name>.expected_exec_metric_us / .expected_time_from_start_us:
+  // the <name> part is workload-dependent, so validate the shape only.
+  constexpr std::string_view kServicePrefix = "service.";
+  if (key.compare(0, kServicePrefix.size(), kServicePrefix) == 0) {
+    const auto ends_with = [&](std::string_view suffix) {
+      return key.size() > kServicePrefix.size() + suffix.size() &&
+             key.compare(key.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+    };
+    return ends_with(".expected_exec_metric_us") ||
+           ends_with(".expected_time_from_start_us");
+  }
+  return false;
+}
+
+}  // namespace
 
 std::optional<ControllerKind> controller_from_string(const std::string& name) {
   if (name == "static") return ControllerKind::kStatic;
@@ -24,6 +69,8 @@ std::optional<ExperimentConfig> experiment_from_config(const Config& cfg,
   };
 
   ExperimentConfig out;
+
+  warn_unknown_config_keys(cfg);
 
   const std::string workload = cfg.get_string("workload", "chain");
   bool found = false;
@@ -107,7 +154,34 @@ std::optional<ExperimentConfig> experiment_from_config(const Config& cfg,
 
   out.record_alloc_timelines = cfg.get_bool("record.alloc_timelines", false);
   out.record_latency_series = cfg.get_bool("record.latency_series", false);
+
+  out.trace_enabled = cfg.get_bool("trace.enabled", false);
+  out.trace_sample = cfg.get_double("trace.sample", 1.0);
+  if (out.trace_sample < 0.0 || out.trace_sample > 1.0) {
+    return fail("trace.sample must be in [0, 1]");
+  }
+  const long long cap = cfg.get_int("trace.capacity", 4096);
+  if (cap <= 0) return fail("trace.capacity must be positive");
+  out.trace_capacity = static_cast<std::size_t>(cap);
+  out.trace_keep_violators = cfg.get_bool("trace.keep_violators", true);
   return out;
+}
+
+std::vector<std::string> unknown_config_keys(const Config& cfg) {
+  std::vector<std::string> unknown;
+  for (const std::string& key : cfg.keys()) {
+    if (!is_known_key(key)) unknown.push_back(key);
+  }
+  return unknown;
+}
+
+int warn_unknown_config_keys(const Config& cfg) {
+  const std::vector<std::string> unknown = unknown_config_keys(cfg);
+  for (const std::string& key : unknown) {
+    std::fprintf(stderr, "warning: unknown config key '%s' (ignored)\n",
+                 key.c_str());
+  }
+  return static_cast<int>(unknown.size());
 }
 
 int apply_target_overrides(const Config& cfg, const WorkloadInfo& workload,

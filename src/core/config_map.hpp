@@ -22,12 +22,20 @@
 //   retry.enabled, retry.timeout_ms, retry.backoff, retry.max
 //   drain_s             (post-measurement drain window)
 //   membw.node_bw_gbs, membw.demand_per_core_gbs
+//   trace.enabled, trace.sample, trace.capacity, trace.keep_violators,
+//   trace.out           (export path; consumed by sg_run)
 //   service.<name>.expected_exec_metric_us
 //   service.<name>.expected_time_from_start_us
+//
+// Unknown keys are not errors (forward compatibility with configs written
+// for newer builds) but ARE reported: experiment_from_config prints one
+// stderr warning per unknown key, so a misspelled knob ("retry.timout_s")
+// fails loudly instead of silently running with the default.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "core/experiment.hpp"
@@ -48,5 +56,13 @@ std::optional<ExperimentConfig> experiment_from_config(const Config& cfg,
 /// Returns how many services were overridden.
 int apply_target_overrides(const Config& cfg, const WorkloadInfo& workload,
                            TargetMap* targets);
+
+/// Keys in `cfg` that no consumer recognizes (sorted). The known set is the
+/// list in this header plus the `service.<name>.*` target-override pattern.
+std::vector<std::string> unknown_config_keys(const Config& cfg);
+
+/// Prints one `warning: unknown config key ...` line to stderr per unknown
+/// key and returns how many there were. Called by experiment_from_config.
+int warn_unknown_config_keys(const Config& cfg);
 
 }  // namespace sg

@@ -61,6 +61,14 @@ std::unique_ptr<Testbed> build_testbed(const ExperimentConfig& config,
   auto tb = std::make_unique<Testbed>(config.seed, config.nodes);
   const WorkloadInfo& w = config.workload;
 
+  if (config.trace_enabled) {
+    TraceOptions topts;
+    topts.head_sample_rate = config.trace_sample;
+    topts.capacity = config.trace_capacity;
+    topts.keep_slo_violators = config.trace_keep_violators;
+    tb->sim.enable_tracing(topts);
+  }
+
   // Placement: round-robin services over nodes, calibrated initial cores.
   Deployment deployment;
   deployment.initial_cores = w.initial_cores;
@@ -256,6 +264,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   gen_opts.retry.timeout = 4 * config.rpc_retry.timeout;
   LoadGenerator gen(tb->sim, tb->network, *tb->app, gen_opts);
 
+  if (TraceSink* trace = tb->sim.trace_sink()) {
+    // Tail sampling keys off the run's QoS (known only now).
+    trace->set_slo_threshold(config.trace_keep_violators ? gen_opts.qos : 0);
+  }
+
   for (auto& c : tb->controllers) c->start();
   gen.start();
 
@@ -326,6 +339,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   if (config.record_latency_series) {
     out.latency_series = gen.vv_tracker().latency_series().sample(
         0, gen.measure_end(), config.vv_window);
+  }
+  if (TraceSink* trace = tb->sim.trace_sink()) {
+    std::vector<TraceContainerInfo> info;
+    for (int i = 0; i < tb->app->service_count(); ++i) {
+      const Container& c = tb->app->service_container(i);
+      info.push_back({c.id(), c.node(), c.name()});
+    }
+    trace->set_container_info(std::move(info));
+    out.trace = trace->report();
   }
   return out;
 }

@@ -22,6 +22,7 @@
 #include "controllers/targets.hpp"
 #include "fault/fault_injector.hpp"
 #include "sim/timeline.hpp"
+#include "trace/trace.hpp"
 #include "workload/load_generator.hpp"
 
 namespace sg {
@@ -123,6 +124,17 @@ struct ExperimentConfig {
   bool record_latency_series = false;
   SimTime trace_sample_interval = 100 * kMillisecond;
 
+  /// Per-request distributed tracing (sg::trace). Off by default: the
+  /// instrumented paths then reduce to one null check and the run is
+  /// bit-identical to an untraced build.
+  bool trace_enabled = false;
+  /// Head-sampling rate in [0, 1] (hash of the request id; no RNG draws).
+  double trace_sample = 1.0;
+  /// Kept-trace ring capacity.
+  std::size_t trace_capacity = 4096;
+  /// Tail sampling: also keep requests whose latency exceeds the QoS.
+  bool trace_keep_violators = true;
+
   /// Derived spike pattern for this config.
   SpikePattern make_pattern() const;
 };
@@ -157,6 +169,10 @@ struct ExperimentResult {
   /// Optional traces.
   std::vector<ContainerTrace> alloc_traces;
   std::vector<StepTimeline::Point> latency_series;
+
+  /// Request-level trace snapshot (present when trace_enabled). Detached
+  /// from the testbed: exporters can run after the simulation is gone.
+  std::optional<TraceReport> trace;
 
   SimTime measure_start = 0;
   SimTime measure_end = 0;

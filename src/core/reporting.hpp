@@ -1,37 +1,6 @@
-// Fixed-width table printing for bench output.
-//
-// Every bench prints the paper's rows/series as aligned text tables (and
-// optionally CSV); this keeps that formatting in one place.
+// Forwarding header: TablePrinter/fmt_ratio/print_banner moved to
+// common/table.hpp so that sg_trace's exporters (which cannot link sg_core)
+// can use them. Existing includes keep working through this alias.
 #pragma once
 
-#include <string>
-#include <vector>
-
-namespace sg {
-
-class TablePrinter {
- public:
-  explicit TablePrinter(std::vector<std::string> headers);
-
-  void add_row(std::vector<std::string> cells);
-
-  /// Renders with column auto-sizing and a header underline.
-  std::string render() const;
-
-  /// render() to stdout.
-  void print() const;
-
-  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
-
- private:
-  std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
-};
-
-/// "0.83x"-style normalized value rendering.
-std::string fmt_ratio(double v, int precision = 2);
-
-/// Section banner for bench output.
-void print_banner(const std::string& title);
-
-}  // namespace sg
+#include "common/table.hpp"  // IWYU pragma: export

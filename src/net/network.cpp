@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include "common/assert.hpp"
+#include "trace/trace.hpp"
 
 namespace sg {
 
@@ -31,7 +32,12 @@ SimTime Network::sample_latency(int src_node, int dst_node) {
   return latency < 0 ? 0 : latency;
 }
 
-void Network::send(int src_node, const RpcPacket& pkt) {
+void Network::send(int src_node, const RpcPacket& pkt_in) {
+  // Packets are value types: the copy in the closures below is the wire
+  // copy. Traced packets get their send time stamped on it so delivery can
+  // record the transit as a net-hop span.
+  RpcPacket pkt = pkt_in;
+  if (pkt.traced) pkt.sent_at = sim_.now();
   if (fault_hook_ != nullptr) {
     const PacketFate fate = fault_hook_->on_send(pkt);
     if (fate.drop) {
@@ -54,12 +60,26 @@ void Network::send(int src_node, const RpcPacket& pkt) {
     return;
   }
   const SimTime latency = sample_latency(src_node, pkt.dst_node);
-  // Packets are value types: the copy in the closure is the wire copy.
   sim_.schedule_after(latency, [this, pkt]() { deliver(pkt); });
 }
 
 void Network::deliver(const RpcPacket& pkt) {
   ++packets_delivered_;
+  if (pkt.traced) {
+    // Span recorded BEFORE the receiver runs, so a response's final hop is
+    // buffered before the client completes (and flushes) the request.
+    if (TraceSink* trace = sim_.trace_sink()) {
+      TraceSpan span;
+      span.request_id = pkt.request_id;
+      span.kind = SpanKind::kNetHop;
+      span.container = pkt.dst_container;
+      span.src_container = pkt.src_container;
+      span.begin = pkt.sent_at;
+      span.end = sim_.now();
+      span.is_response = pkt.is_response;
+      trace->add_span(span);
+    }
+  }
   // Receive-side hook chain: the netif_receive_skb attachment point. Hooks
   // see the packet before the destination container does.
   if (const auto hit = hooks_.find(pkt.dst_node); hit != hooks_.end()) {

@@ -57,6 +57,18 @@ struct RpcPacket {
   /// Modeled payload size (for potential bandwidth extensions; latency model
   /// currently treats packets as small RPCs).
   std::uint32_t payload_bytes = 256;
+
+  // --- trace context (sg::trace) ---
+
+  /// Propagated across hops: this request's spans are being recorded.
+  /// Always false while tracing is disabled, so the instrumented paths
+  /// reduce to a dead branch.
+  bool traced = false;
+
+  /// Send timestamp, stamped by the network on traced packets only; a
+  /// delivery-time hop span [sent_at, now] captures the wire transit
+  /// (including fault-injected extra delay).
+  SimTime sent_at = 0;
 };
 
 }  // namespace sg

@@ -3,10 +3,21 @@
 #include <memory>
 
 #include "common/assert.hpp"
+#include "trace/trace.hpp"
 
 namespace sg {
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+// Out of line: TraceSink is only forward-declared in the header.
+Simulator::~Simulator() = default;
+
+TraceSink& Simulator::enable_tracing(const TraceOptions& options) {
+  trace_sink_ = std::make_unique<TraceSink>(options);
+  return *trace_sink_;
+}
+
+void Simulator::disable_tracing() { trace_sink_.reset(); }
 
 EventId Simulator::schedule_at(SimTime t, EventQueue::Callback cb) {
   if (t < now_) t = now_;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "common/rng.hpp"
 #include "common/time.hpp"
@@ -15,9 +16,13 @@
 
 namespace sg {
 
+class TraceSink;
+struct TraceOptions;
+
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -73,6 +78,24 @@ class Simulator {
   /// Periodic firings vetoed by the tick gate so far.
   std::uint64_t ticks_stalled() const { return ticks_stalled_; }
 
+  /// --- tracing (sg::trace) ---
+  ///
+  /// The simulator owns the trace sink so every layer holding a Simulator&
+  /// (network, application, containers, controllers) reaches it without
+  /// extra plumbing. The sink never schedules events or draws from the RNG,
+  /// so enabling tracing leaves the event sequence bit-identical.
+
+  /// Installs a sink (replacing any previous one); returns it for further
+  /// configuration (SLO threshold, container metadata).
+  TraceSink& enable_tracing(const TraceOptions& options);
+
+  /// Removes the sink; instrumentation reverts to the no-op path.
+  void disable_tracing();
+
+  /// Active sink, or nullptr when tracing is disabled. Instrumentation
+  /// sites null-check this — the disabled cost is one pointer load.
+  TraceSink* trace_sink() const { return trace_sink_.get(); }
+
  private:
   SimTime now_ = 0;
   EventQueue queue_;
@@ -80,6 +103,7 @@ class Simulator {
   std::uint64_t events_processed_ = 0;
   std::function<bool(TickClass)> tick_gate_;
   std::uint64_t ticks_stalled_ = 0;
+  std::unique_ptr<TraceSink> trace_sink_;
 };
 
 }  // namespace sg

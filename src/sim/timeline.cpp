@@ -77,6 +77,27 @@ double StepTimeline::integrate_above(SimTime t0, SimTime t1,
   return acc;
 }
 
+SimTime StepTimeline::time_above(SimTime t0, SimTime t1,
+                                 double threshold) const {
+  if (t1 <= t0) return 0;
+  SimTime acc = 0;
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t0,
+      [](SimTime lhs, const Point& p) { return lhs < p.time; });
+  if (it != points_.begin()) --it;
+  for (; it != points_.end(); ++it) {
+    const SimTime seg_start = std::max(it->time, t0);
+    const SimTime seg_end =
+        (std::next(it) == points_.end()) ? t1
+                                         : std::min(std::next(it)->time, t1);
+    if (seg_start >= t1) break;
+    if (seg_end > seg_start && it->value > threshold) {
+      acc += seg_end - seg_start;
+    }
+  }
+  return acc;
+}
+
 std::vector<StepTimeline::Point> StepTimeline::sample(SimTime t0, SimTime t1,
                                                       SimTime dt) const {
   std::vector<Point> out;

@@ -39,6 +39,11 @@ class StepTimeline {
   /// violation-volume primitive (paper Fig. 3) when the series is latency.
   double integrate_above(SimTime t0, SimTime t1, double threshold) const;
 
+  /// Total time within [t0, t1] during which value > threshold. With a
+  /// frequency timeline and threshold = base MHz this is the
+  /// "boost active" duration trace spans report.
+  SimTime time_above(SimTime t0, SimTime t1, double threshold) const;
+
   struct Point {
     SimTime time;
     double value;

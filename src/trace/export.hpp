@@ -1,0 +1,72 @@
+// Trace exporters: Chrome trace_event JSON, per-service latency-breakdown
+// tables, and critical-path extraction.
+//
+// All output is deterministic for a given TraceReport: fixed-precision
+// number formatting and stable iteration order, so a fixed seed produces
+// byte-identical artifacts (integration_trace_test asserts this).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "trace/trace.hpp"
+
+namespace sg {
+
+/// Chrome trace_event JSON (load in chrome://tracing or Perfetto).
+/// Track layout: pid 0 = services (one thread per container, visit slices
+/// with nested exec/conn-wait slices), pid 1 = network (hop slices on the
+/// destination's thread), pid 2 = controllers (instant decision events).
+/// Timestamps are microseconds with fixed 3-decimal (ns) precision.
+std::string chrome_trace_json(const TraceReport& report);
+
+/// Per-service latency decomposition averaged over the kept traces.
+/// Fractions are of total visit wall time at that service.
+struct BreakdownRow {
+  int container = -1;
+  std::string service;
+  std::uint64_t visits = 0;
+  double avg_visit_us = 0.0;   // mean wall time per visit
+  double exec_frac = 0.0;      // CPU actually served (core share held)
+  double cpu_queue_frac = 0.0; // runnable but no core share
+  double conn_wait_frac = 0.0; // blocked on a connection-pool slot
+  double downstream_frac = 0.0;// waiting on child RPCs (net + child time)
+  double boost_frac = 0.0;     // running above base frequency
+  double avg_net_in_us = 0.0;  // mean inbound request-hop transit
+};
+
+std::vector<BreakdownRow> latency_breakdown(const TraceReport& report);
+
+/// latency_breakdown rendered via TablePrinter (one row per service).
+TablePrinter breakdown_table(const TraceReport& report);
+
+/// One segment of a request's critical path (clipped to the covered
+/// interval, so segments tile [trace.begin, trace.end] minus gaps).
+struct CriticalSegment {
+  SpanKind kind = SpanKind::kExec;
+  int container = -1;
+  SimTime begin = 0;
+  SimTime end = 0;
+};
+
+struct CriticalPath {
+  RequestId id = 0;
+  SimTime latency = 0;
+  SimTime exec_ns = 0;   // served CPU on the path
+  SimTime queue_ns = 0;  // cpu-queue + conn-wait on the path
+  SimTime net_ns = 0;    // wire transits on the path
+  SimTime gap_ns = 0;    // uncovered time (non-sequential structure)
+  std::vector<CriticalSegment> segments;
+};
+
+/// Critical paths of the k slowest kept requests (greedy interval cover
+/// over exec/conn-wait/net spans; exact for sequential task graphs).
+std::vector<CriticalPath> critical_paths(const TraceReport& report,
+                                         std::size_t k);
+
+/// critical_paths rendered via TablePrinter.
+TablePrinter critical_path_table(const TraceReport& report, std::size_t k);
+
+}  // namespace sg

@@ -1,0 +1,125 @@
+#include "trace/trace.hpp"
+
+#include "common/assert.hpp"
+
+namespace sg {
+
+const char* to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::kVisit: return "visit";
+    case SpanKind::kExec: return "exec";
+    case SpanKind::kConnWait: return "conn-wait";
+    case SpanKind::kNetHop: return "net-hop";
+  }
+  return "?";
+}
+
+const char* to_string(DecisionKind k) {
+  switch (k) {
+    case DecisionKind::kCoreGrant: return "core-grant";
+    case DecisionKind::kCoreRevoke: return "core-revoke";
+    case DecisionKind::kFreqBoost: return "freq-boost";
+    case DecisionKind::kFreqLower: return "freq-lower";
+    case DecisionKind::kUpscaleStamp: return "upscale-stamp";
+    case DecisionKind::kAllocSet: return "alloc-set";
+  }
+  return "?";
+}
+
+namespace {
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix, evaluated on the
+/// request id only — sampling must never touch the simulator RNG or the
+/// traced/untraced event sequences would diverge.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TraceSink::TraceSink(TraceOptions options) : options_(options) {
+  SG_ASSERT_MSG(options_.head_sample_rate >= 0.0 &&
+                    options_.head_sample_rate <= 1.0,
+                "head_sample_rate outside [0, 1]");
+  SG_ASSERT_MSG(options_.capacity > 0, "trace capacity must be positive");
+}
+
+bool TraceSink::head_sampled(RequestId id) const {
+  if (options_.head_sample_rate >= 1.0) return true;
+  if (options_.head_sample_rate <= 0.0) return false;
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(mix64(id ^ options_.sample_salt) >> 11) *
+                   0x1.0p-53;
+  return u < options_.head_sample_rate;
+}
+
+bool TraceSink::begin_request(RequestId id, SimTime now) {
+  if (pending_.size() >= options_.max_pending) {
+    ++stats_.pending_overflow;
+    return false;
+  }
+  RequestTrace& t = pending_[id];
+  t.id = id;
+  t.begin = now;
+  t.head_sampled = head_sampled(id);
+  ++stats_.requests_recorded;
+  return true;
+}
+
+void TraceSink::add_span(const TraceSpan& span) {
+  const auto it = pending_.find(span.request_id);
+  if (it == pending_.end()) return;  // not recorded (sampled out / overflow)
+  it->second.spans.push_back(span);
+  ++stats_.spans_recorded;
+}
+
+void TraceSink::end_request(RequestId id, SimTime now, SimTime latency) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  RequestTrace t = std::move(it->second);
+  pending_.erase(it);
+  t.end = now;
+  t.latency = latency;
+  t.slo_violation = slo_ns_ > 0 && latency > slo_ns_;
+  const bool keep =
+      t.head_sampled || (options_.keep_slo_violators && t.slo_violation);
+  if (!keep) {
+    ++stats_.requests_discarded;
+    return;
+  }
+  ++stats_.requests_kept;
+  if (t.slo_violation) ++stats_.slo_violators_kept;
+  kept_.push_back(std::move(t));
+  while (kept_.size() > options_.capacity) {
+    kept_.pop_front();
+    ++stats_.traces_evicted;
+  }
+}
+
+void TraceSink::abandon_request(RequestId id) {
+  if (pending_.erase(id) > 0) ++stats_.requests_abandoned;
+}
+
+void TraceSink::add_decision(const DecisionEvent& e) {
+  if (decisions_.size() >= options_.max_decisions) {
+    ++stats_.decisions_dropped;
+    return;
+  }
+  decisions_.push_back(e);
+  ++stats_.decisions_recorded;
+}
+
+TraceReport TraceSink::report() const {
+  TraceReport r;
+  r.traces.assign(kept_.begin(), kept_.end());
+  r.decisions = decisions_;
+  r.containers = containers_;
+  r.stats = stats_;
+  r.slo_ns = slo_ns_;
+  return r;
+}
+
+}  // namespace sg

@@ -1,0 +1,216 @@
+// Per-request distributed tracing with exact slack attribution.
+//
+// SurgeGuard's premise is per-packet slack accounting at ingress; this
+// subsystem makes that slack inspectable per request. Every traced request
+// carries a `traced` bit across RPC hops (the trace context); the
+// instrumented layers record spans against a central TraceSink:
+//
+//   kNetHop   — one wire transit (send stamp -> delivery), request or
+//               response leg, recorded by sg::net.
+//   kExec     — one CPU segment of a service visit (submit -> completion)
+//               under processor sharing. `cpu_served_ns` carries the
+//               integrated core share over the segment, so
+//               wall = served + cpu-queue decomposes exactly.
+//   kConnWait — time blocked on a connection-pool slot (the hidden
+//               dependency of paper Fig. 5b).
+//   kVisit    — the whole stay at one service (ingress -> reply), enclosing
+//               its exec/conn-wait segments; `boost_active_ns` is the time
+//               the container ran above base frequency (FirstResponder).
+//
+// For sequential task graphs the segments tile the request exactly:
+//   e2e latency == sum(kExec walls) + sum(kConnWait) + sum(kNetHop),
+// to the nanosecond (integration_trace_test asserts this).
+//
+// Controllers additionally log DecisionEvents (core grants/revokes,
+// frequency boosts, upscale stamps) so a trace shows not only where slack
+// went but which decision responded.
+//
+// Determinism: head sampling hashes the request id (SplitMix64) — it NEVER
+// draws from the simulator RNG — and the sink schedules no events, so a
+// run's event sequence and RNG streams are bit-identical whether tracing is
+// enabled, disabled, or sampled differently. Exported artifacts are
+// byte-identical for a fixed seed. Tracing disabled costs one null-pointer
+// check at each instrumentation site.
+//
+// Memory is O(capacity + in-flight): kept traces live in a fixed-capacity
+// ring (oldest evicted), in-flight buffers are bounded by max_pending, and
+// decision events by max_decisions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sg {
+
+using RequestId = std::uint64_t;
+
+enum class SpanKind { kVisit, kExec, kConnWait, kNetHop };
+
+const char* to_string(SpanKind k);
+
+struct TraceSpan {
+  RequestId request_id = 0;
+  SpanKind kind = SpanKind::kExec;
+  /// Container the time is attributed to (destination for net hops);
+  /// kClientEndpoint (-1) for the client.
+  int container = -1;
+  /// Sending container (net hops only).
+  int src_container = -1;
+  SimTime begin = 0;
+  SimTime end = 0;
+  /// Net hops: response leg.
+  bool is_response = false;
+  /// kExec: integrated core share over [begin, end] — the time the job
+  /// effectively held a core. wall minus this is CPU-queue time.
+  double cpu_served_ns = 0.0;
+  /// kVisit: time the serving container spent above base frequency.
+  double boost_active_ns = 0.0;
+
+  SimTime wall() const { return end - begin; }
+};
+
+enum class DecisionKind {
+  kCoreGrant,     // amount = cores granted
+  kCoreRevoke,    // amount = cores revoked
+  kFreqBoost,     // amount = resulting MHz
+  kFreqLower,     // amount = resulting MHz
+  kUpscaleStamp,  // amount = hint depth stamped on outgoing RPCs
+  kAllocSet,      // amount = resulting cores (centralized allocators)
+};
+
+const char* to_string(DecisionKind k);
+
+struct DecisionEvent {
+  SimTime at = 0;
+  DecisionKind kind = DecisionKind::kCoreGrant;
+  /// Static string: "escalator", "first-responder", "parties", ...
+  const char* controller = "";
+  int node = -1;
+  int container = -1;
+  int amount = 0;
+};
+
+struct TraceOptions {
+  /// Head-sampling rate in [0, 1]: fraction of requests recorded AND kept
+  /// unconditionally. Pure hash of the request id — no RNG draws.
+  double head_sample_rate = 1.0;
+  /// Tail sampling: record every request, keep those whose e2e latency
+  /// exceeds the SLO threshold even when not head-sampled.
+  bool keep_slo_violators = true;
+  /// Kept-trace ring capacity (oldest evicted beyond this).
+  std::size_t capacity = 4096;
+  /// In-flight request buffers; begin_request beyond this is refused.
+  std::size_t max_pending = 1u << 16;
+  /// Decision-event cap (events beyond it are counted, not stored).
+  std::size_t max_decisions = 1u << 20;
+  /// Salt for the head-sampling hash (fixed default keeps runs comparable).
+  std::uint64_t sample_salt = 0x53757267;
+};
+
+/// One kept request: its spans in recording order plus keep provenance.
+struct RequestTrace {
+  RequestId id = 0;
+  SimTime begin = 0;
+  SimTime end = 0;
+  SimTime latency = 0;
+  bool head_sampled = false;
+  bool slo_violation = false;
+  std::vector<TraceSpan> spans;
+};
+
+struct TraceStats {
+  std::uint64_t requests_recorded = 0;  // began buffering spans
+  std::uint64_t requests_kept = 0;      // survived sampling at completion
+  std::uint64_t requests_discarded = 0; // completed, sampled out
+  std::uint64_t requests_abandoned = 0; // dropped by the client
+  std::uint64_t pending_overflow = 0;   // refused: too many in flight
+  std::uint64_t traces_evicted = 0;     // ring overflow
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t slo_violators_kept = 0;
+  std::uint64_t decisions_recorded = 0;
+  std::uint64_t decisions_dropped = 0;
+};
+
+/// Name/placement metadata exporters use to label containers.
+struct TraceContainerInfo {
+  int id = -1;
+  int node = -1;
+  std::string name;
+};
+
+/// Detached, self-contained snapshot of a sink — the sink (and the whole
+/// testbed) can be torn down before exporters run.
+struct TraceReport {
+  std::vector<RequestTrace> traces;  // completion order
+  std::vector<DecisionEvent> decisions;
+  std::vector<TraceContainerInfo> containers;
+  TraceStats stats;
+  /// SLO threshold in force (0 = tail sampling off).
+  SimTime slo_ns = 0;
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(TraceOptions options);
+
+  const TraceOptions& options() const { return options_; }
+
+  /// Deterministic head-sampling verdict for a request id (pure hash).
+  bool head_sampled(RequestId id) const;
+
+  /// Whether spans for this request should be collected at all: head
+  /// sampled, or tail sampling may keep it at completion.
+  bool should_record(RequestId id) const {
+    return options_.keep_slo_violators || head_sampled(id);
+  }
+
+  /// Tail-sampling threshold; completions with latency > slo are kept
+  /// regardless of head sampling. 0 disables (set once QoS is known).
+  void set_slo_threshold(SimTime slo_ns) { slo_ns_ = slo_ns; }
+  SimTime slo_threshold() const { return slo_ns_; }
+
+  /// Opens a span buffer for a request. Returns false (and records nothing
+  /// for this request) when max_pending in-flight buffers already exist.
+  bool begin_request(RequestId id, SimTime now);
+
+  /// Appends a span to its request's buffer; ignored (O(1)) when the
+  /// request is not being recorded.
+  void add_span(const TraceSpan& span);
+
+  /// Completes a request: applies the keep decision (head sample || SLO
+  /// violation) and moves the buffer into the kept ring or discards it.
+  void end_request(RequestId id, SimTime now, SimTime latency);
+
+  /// Drops an in-flight buffer (client abandoned the request).
+  void abandon_request(RequestId id);
+
+  void add_decision(const DecisionEvent& e);
+
+  /// Container metadata for exporters (typically set once before report()).
+  void set_container_info(std::vector<TraceContainerInfo> info) {
+    containers_ = std::move(info);
+  }
+
+  const TraceStats& stats() const { return stats_; }
+  std::size_t kept_count() const { return kept_.size(); }
+  std::size_t pending_count() const { return pending_.size(); }
+
+  /// Snapshot for export; in-flight buffers are not included.
+  TraceReport report() const;
+
+ private:
+  TraceOptions options_;
+  SimTime slo_ns_ = 0;
+  std::unordered_map<RequestId, RequestTrace> pending_;
+  std::deque<RequestTrace> kept_;
+  std::vector<DecisionEvent> decisions_;
+  std::vector<TraceContainerInfo> containers_;
+  TraceStats stats_;
+};
+
+}  // namespace sg

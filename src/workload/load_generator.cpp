@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "trace/trace.hpp"
 
 namespace sg {
 
@@ -66,14 +67,21 @@ void LoadGenerator::issue_request() {
   Outstanding& o = outstanding_[id];
   o.start = now;
   o.attempt = 0;
+  if (TraceSink* trace = sim_.trace_sink()) {
+    // Head sampling happens here, at the root of the request: the decision
+    // is a pure hash of the request id, never a simulator RNG draw, so
+    // traced and untraced runs replay identical event sequences.
+    o.traced = trace->should_record(id) && trace->begin_request(id, now);
+  }
   if (options_.retry.enabled) {
     o.timer = sim_.schedule_after(options_.retry.timeout_for_attempt(0),
                                   [this, id]() { on_request_timeout(id); });
   }
-  send_request(id, now);
+  send_request(id, now, o.traced);
 }
 
-void LoadGenerator::send_request(RequestId id, SimTime start_time) {
+void LoadGenerator::send_request(RequestId id, SimTime start_time,
+                                 bool traced) {
   RpcPacket pkt;
   pkt.request_id = id;
   pkt.call_id = 0;
@@ -84,6 +92,7 @@ void LoadGenerator::send_request(RequestId id, SimTime start_time) {
   pkt.is_response = false;
   pkt.start_time = start_time;  // SurgeGuard startTime stamped at the source
   pkt.upscale = 0;
+  pkt.traced = traced;
   network_.send(kClientNode, pkt);
 }
 
@@ -99,12 +108,15 @@ void LoadGenerator::on_request_timeout(RequestId id) {
                             [this, id]() { on_request_timeout(id); });
     // The retransmission keeps the ORIGINAL start_time: latency is measured
     // from the client's first attempt, so retries land in the tail.
-    send_request(id, o.start);
+    send_request(id, o.start, o.traced);
     return;
   }
   // Retries exhausted: the client gives up. Accounted as dropped, never as
   // a completion — conservation stays exact.
   ++dropped_;
+  if (o.traced) {
+    if (TraceSink* trace = sim_.trace_sink()) trace->abandon_request(id);
+  }
   outstanding_.erase(it);
 }
 
@@ -120,6 +132,13 @@ void LoadGenerator::on_response(const RpcPacket& pkt) {
   if (it->second.timer != kInvalidEvent) sim_.cancel(it->second.timer);
   const SimTime now = sim_.now();
   const SimTime latency = now - it->second.start;
+  if (it->second.traced) {
+    // The response's final net-hop span was recorded at delivery (before
+    // this receiver ran), so the trace is complete when we seal it here.
+    if (TraceSink* trace = sim_.trace_sink()) {
+      trace->end_request(pkt.request_id, now, latency);
+    }
+  }
   outstanding_.erase(it);
   ++completed_total_;
   vv_.record_completion(now, latency);

@@ -106,11 +106,12 @@ class LoadGenerator {
     SimTime start = 0;             // original issue time (latency anchor)
     int attempt = 0;               // 0 = initial send
     EventId timer = kInvalidEvent; // armed only when retry is enabled
+    bool traced = false;           // spans being recorded for this request
   };
 
   void schedule_next_arrival();
   void issue_request();
-  void send_request(RequestId id, SimTime start_time);
+  void send_request(RequestId id, SimTime start_time, bool traced);
   void on_request_timeout(RequestId id);
   void on_response(const RpcPacket& pkt);
 

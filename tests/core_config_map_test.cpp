@@ -133,6 +133,81 @@ TEST(ConfigMapTest, PartialTargetOverride) {
   EXPECT_EQ(targets.of(0).expected_time_from_start, 2000);  // kept
 }
 
+TEST(ConfigMapTest, MisspelledKeyIsFlaggedAsUnknown) {
+  // The classic typo: retry.timout_s instead of retry.timeout_ms.
+  const Config cfg = parse(R"(
+workload = chain
+[retry]
+timout_s = 5
+)");
+  const auto unknown = unknown_config_keys(cfg);
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "retry.timout_s");
+  EXPECT_EQ(warn_unknown_config_keys(cfg), 1);
+  // The experiment still parses — unknown keys warn, they do not fail.
+  EXPECT_TRUE(experiment_from_config(cfg, nullptr).has_value());
+}
+
+TEST(ConfigMapTest, ValidKeysAreNotFlagged) {
+  const Config cfg = parse(R"(
+workload = chain
+controller = surgeguard
+rate_rps = 3000
+[surge]
+mult = 1.5
+[retry]
+enabled = true
+timeout_ms = 20
+[trace]
+enabled = true
+sample = 0.5
+capacity = 1024
+keep_violators = false
+out = /tmp/t.json
+[service.chain-0]
+expected_exec_metric_us = 10
+expected_time_from_start_us = 20
+)");
+  EXPECT_TRUE(unknown_config_keys(cfg).empty());
+  EXPECT_EQ(warn_unknown_config_keys(cfg), 0);
+  // service.<name>. still requires a recognized suffix.
+  const Config bad = parse("[service.chain-0]\nexec_metric = 1\n");
+  EXPECT_EQ(unknown_config_keys(bad).size(), 1u);
+}
+
+TEST(ConfigMapTest, TraceKeysParse) {
+  const auto cfg = experiment_from_config(parse(R"(
+[trace]
+enabled = true
+sample = 0.25
+capacity = 512
+keep_violators = false
+)"),
+                                          nullptr);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_TRUE(cfg->trace_enabled);
+  EXPECT_DOUBLE_EQ(cfg->trace_sample, 0.25);
+  EXPECT_EQ(cfg->trace_capacity, 512u);
+  EXPECT_FALSE(cfg->trace_keep_violators);
+  // Defaults: tracing off, sample everything, keep violators.
+  const auto plain = experiment_from_config(parse(""), nullptr);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_FALSE(plain->trace_enabled);
+  EXPECT_DOUBLE_EQ(plain->trace_sample, 1.0);
+  EXPECT_TRUE(plain->trace_keep_violators);
+}
+
+TEST(ConfigMapTest, InvalidTraceValuesFail) {
+  std::string err;
+  EXPECT_FALSE(
+      experiment_from_config(parse("[trace]\nsample = 1.5\n"), &err));
+  EXPECT_NE(err.find("trace.sample"), std::string::npos);
+  EXPECT_FALSE(
+      experiment_from_config(parse("[trace]\nsample = -0.1\n"), nullptr));
+  EXPECT_FALSE(
+      experiment_from_config(parse("[trace]\ncapacity = 0\n"), nullptr));
+}
+
 TEST(ConfigMapTest, ConfiguredExperimentRuns) {
   // End-to-end: a config-built experiment must run and produce results.
   const auto cfg = experiment_from_config(parse(R"(

@@ -1,0 +1,194 @@
+// End-to-end properties of sg::trace on a real simulated testbed:
+//   * exact slack attribution — a traced request's exec + conn-wait +
+//     net-hop spans tile its end-to-end latency to the nanosecond
+//     (sequential CHAIN task graph);
+//   * determinism — same seed, byte-identical exported trace JSON;
+//   * zero observer effect — tracing disabled vs enabled leaves the event
+//     count and every latency percentile bit-identical;
+//   * surge runs produce breakdown rows, decisions, and kept violators.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "trace/export.hpp"
+
+namespace sg {
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.workload = make_chain();
+  cfg.controller = ControllerKind::kSurgeGuard;
+  cfg.warmup = 1 * kSecond;
+  cfg.duration = 3 * kSecond;
+  cfg.seed = 7;
+  return cfg;
+}
+
+ExperimentConfig steady_traced_config() {
+  ExperimentConfig cfg = base_config();
+  cfg.surge_mult = 1.0;  // steady load: no surge windows
+  cfg.trace_enabled = true;
+  cfg.trace_sample = 1.0;
+  cfg.trace_capacity = 1u << 16;  // keep everything: no ring eviction
+  return cfg;
+}
+
+TEST(IntegrationTraceTest, SpanSegmentsTileEndToEndLatencyExactly) {
+  const ExperimentResult r = run_experiment(steady_traced_config());
+  ASSERT_TRUE(r.trace.has_value());
+  const TraceReport& tr = *r.trace;
+  ASSERT_GT(tr.traces.size(), 100u);
+  EXPECT_EQ(tr.stats.traces_evicted, 0u);
+
+  for (const RequestTrace& t : tr.traces) {
+    SimTime covered = 0;
+    for (const TraceSpan& s : t.spans) {
+      if (s.kind == SpanKind::kVisit) continue;  // encloses exec/conn-wait
+      covered += s.wall();
+    }
+    // CHAIN is sequential: exec + conn-wait + net segments are contiguous,
+    // so their walls sum to the client-observed latency within 1 ns.
+    EXPECT_NEAR(static_cast<double>(covered), static_cast<double>(t.latency),
+                1.0)
+        << "request " << t.id;
+    EXPECT_EQ(t.end - t.begin, t.latency) << "request " << t.id;
+  }
+}
+
+TEST(IntegrationTraceTest, ExecSpansDecomposeIntoServedPlusQueue) {
+  const ExperimentResult r = run_experiment(steady_traced_config());
+  ASSERT_TRUE(r.trace.has_value());
+  std::uint64_t exec_spans = 0;
+  for (const RequestTrace& t : r.trace->traces) {
+    for (const TraceSpan& s : t.spans) {
+      if (s.kind != SpanKind::kExec) continue;
+      ++exec_spans;
+      // Served core share can never exceed the wall (it is an integral of a
+      // quantity <= 1); allow float-integration slop of 1 ns.
+      EXPECT_LE(s.cpu_served_ns, static_cast<double>(s.wall()) + 1.0);
+      EXPECT_GE(s.cpu_served_ns, 0.0);
+    }
+  }
+  EXPECT_GT(exec_spans, 0u);
+}
+
+TEST(IntegrationTraceTest, SameSeedProducesByteIdenticalTraceJson) {
+  const ExperimentResult a = run_experiment(steady_traced_config());
+  const ExperimentResult b = run_experiment(steady_traced_config());
+  ASSERT_TRUE(a.trace.has_value());
+  ASSERT_TRUE(b.trace.has_value());
+  const std::string ja = chrome_trace_json(*a.trace);
+  const std::string jb = chrome_trace_json(*b.trace);
+  EXPECT_GT(ja.size(), 1000u);
+  EXPECT_EQ(ja, jb);
+}
+
+TEST(IntegrationTraceTest, TracingHasZeroObserverEffect) {
+  ExperimentConfig off = base_config();
+  ExperimentConfig on = base_config();
+  on.trace_enabled = true;
+  on.trace_sample = 0.25;  // sampling must not perturb the run either
+
+  const ExperimentResult r_off = run_experiment(off);
+  const ExperimentResult r_on = run_experiment(on);
+
+  EXPECT_FALSE(r_off.trace.has_value());
+  ASSERT_TRUE(r_on.trace.has_value());
+  EXPECT_GT(r_on.trace->stats.requests_recorded, 0u);
+
+  // Bit-identical simulation: same event count, same completions, same
+  // percentiles. Tracing only observes; it never schedules or draws RNG.
+  EXPECT_EQ(r_off.events_processed, r_on.events_processed);
+  EXPECT_EQ(r_off.load.completed, r_on.load.completed);
+  EXPECT_EQ(r_off.load.issued, r_on.load.issued);
+  EXPECT_EQ(r_off.load.p50, r_on.load.p50);
+  EXPECT_EQ(r_off.load.p98, r_on.load.p98);
+  EXPECT_EQ(r_off.load.p99, r_on.load.p99);
+  EXPECT_EQ(r_off.load.max_latency, r_on.load.max_latency);
+  EXPECT_DOUBLE_EQ(r_off.avg_cores, r_on.avg_cores);
+  EXPECT_DOUBLE_EQ(r_off.energy_joules, r_on.energy_joules);
+}
+
+TEST(IntegrationTraceTest, SurgeRunYieldsBreakdownDecisionsAndViolators) {
+  ExperimentConfig cfg = base_config();
+  // Fig. 10-style micro-surges: 20x instantaneous rate for 2 ms every
+  // second — enough pressure for SLO violations and controller responses.
+  cfg.pattern_override = SpikePattern::surges(
+      cfg.workload.base_rate_rps, 20.0, 2 * kMillisecond, 1 * kSecond,
+      1500 * kMillisecond);
+  cfg.trace_enabled = true;
+  cfg.trace_sample = 0.05;  // rely on tail sampling for the violators
+  cfg.trace_capacity = 1u << 16;
+
+  const ExperimentResult r = run_experiment(cfg);
+  ASSERT_TRUE(r.trace.has_value());
+  const TraceReport& tr = *r.trace;
+
+  EXPECT_GT(tr.slo_ns, 0);
+  EXPECT_GT(tr.stats.requests_kept, 0u);
+  EXPECT_GT(tr.stats.slo_violators_kept, 0u);
+  EXPECT_GT(tr.stats.decisions_recorded, 0u);
+
+  // One breakdown row per service of the deployed task graph.
+  const auto rows = latency_breakdown(tr);
+  EXPECT_EQ(rows.size(), cfg.workload.spec.services.size());
+  EXPECT_EQ(tr.containers.size(), cfg.workload.spec.services.size());
+  for (const BreakdownRow& row : rows) {
+    EXPECT_GT(row.visits, 0u);
+    EXPECT_GT(row.avg_visit_us, 0.0);
+  }
+
+  // Exported JSON stays structurally valid on a big report too.
+  const std::string json = chrome_trace_json(tr);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+
+  // Critical paths of the slowest requests exist and attribute their
+  // latency fully (exec + queue + net + gap == latency).
+  const auto paths = critical_paths(tr, 3);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_GE(paths[0].latency, paths[1].latency);
+  for (const CriticalPath& p : paths) {
+    EXPECT_EQ(p.exec_ns + p.queue_ns + p.net_ns + p.gap_ns, p.latency);
+    EXPECT_FALSE(p.segments.empty());
+  }
+}
+
+TEST(IntegrationTraceTest, HeadSamplingKeepsRoughlyTheRequestedFraction) {
+  ExperimentConfig cfg = steady_traced_config();
+  cfg.trace_sample = 0.2;
+  cfg.trace_keep_violators = false;  // isolate head sampling
+  const ExperimentResult r = run_experiment(cfg);
+  ASSERT_TRUE(r.trace.has_value());
+  const TraceStats& st = r.trace->stats;
+  // With tail sampling off, only head-sampled requests are ever recorded,
+  // so compare kept traces against every completion of the run.
+  EXPECT_EQ(st.requests_discarded, 0u);
+  const double kept_frac = static_cast<double>(st.requests_kept) /
+                           static_cast<double>(r.load.completed_total);
+  EXPECT_GT(kept_frac, 0.1);
+  EXPECT_LT(kept_frac, 0.3);
+}
+
+}  // namespace
+}  // namespace sg

@@ -108,6 +108,35 @@ TEST(TimelineTest, SampleInvalidStep) {
   EXPECT_TRUE(t.sample(0, 10, 0).empty());
 }
 
+TEST(TimelineTest, TimeAboveCountsOnlyStrictlyAboveSegments) {
+  StepTimeline t(1600.0);          // base frequency
+  t.set(100, 3200.0);              // boost on
+  t.set(300, 1600.0);              // back to base
+  t.set(450, 2000.0);              // second, smaller boost
+  // Strictly above base: [100, 300) and [450, ...).
+  EXPECT_EQ(t.time_above(0, 500, 1600.0), 250);
+  // Window clipping on both sides.
+  EXPECT_EQ(t.time_above(150, 250, 1600.0), 100);
+  EXPECT_EQ(t.time_above(200, 460, 1600.0), 110);
+  // Threshold above every value: nothing counts; at-threshold is not above.
+  EXPECT_EQ(t.time_above(0, 500, 3200.0), 0);
+  // Degenerate/empty windows.
+  EXPECT_EQ(t.time_above(200, 200, 1600.0), 0);
+  EXPECT_EQ(t.time_above(400, 300, 1600.0), 0);
+}
+
+TEST(TimelineTest, TimeAboveIsAdditiveAcrossSplits) {
+  StepTimeline t(1.0);
+  t.set(100, 7.0);
+  t.set(250, 1.0);
+  t.set(400, 9.0);
+  for (const SimTime split : {0, 1, 100, 101, 250, 399, 400, 500}) {
+    EXPECT_EQ(t.time_above(0, split, 3.0) + t.time_above(split, 500, 3.0),
+              t.time_above(0, 500, 3.0))
+        << "split " << split;
+  }
+}
+
 // Property: integrate(a,b) + integrate(b,c) == integrate(a,c) for any split.
 class TimelineSplitTest : public ::testing::TestWithParam<SimTime> {};
 

@@ -1,0 +1,263 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/export.hpp"
+
+namespace sg {
+namespace {
+
+TraceSpan span(RequestId id, SpanKind kind, int container, SimTime begin,
+               SimTime end) {
+  TraceSpan s;
+  s.request_id = id;
+  s.kind = kind;
+  s.container = container;
+  s.begin = begin;
+  s.end = end;
+  return s;
+}
+
+TEST(TraceSinkTest, HeadSamplingIsDeterministicAndRateMonotone) {
+  TraceOptions a, b;
+  a.head_sample_rate = 0.3;
+  b.head_sample_rate = 0.3;
+  TraceSink s1(a), s2(b);
+  int sampled = 0;
+  for (RequestId id = 1; id <= 2000; ++id) {
+    EXPECT_EQ(s1.head_sampled(id), s2.head_sampled(id));
+    if (s1.head_sampled(id)) ++sampled;
+  }
+  // SplitMix64 hash: the hit rate lands near 30% for any id set.
+  EXPECT_GT(sampled, 2000 * 0.2);
+  EXPECT_LT(sampled, 2000 * 0.4);
+
+  // Raising the rate never un-samples a request (threshold comparison on
+  // the same hash).
+  TraceOptions hi = a;
+  hi.head_sample_rate = 0.8;
+  TraceSink s3(hi);
+  for (RequestId id = 1; id <= 2000; ++id) {
+    if (s1.head_sampled(id)) {
+      EXPECT_TRUE(s3.head_sampled(id));
+    }
+  }
+}
+
+TEST(TraceSinkTest, RateZeroAndOneAreExact) {
+  TraceOptions none, all;
+  none.head_sample_rate = 0.0;
+  all.head_sample_rate = 1.0;
+  TraceSink s_none(none), s_all(all);
+  for (RequestId id = 1; id <= 500; ++id) {
+    EXPECT_FALSE(s_none.head_sampled(id));
+    EXPECT_TRUE(s_all.head_sampled(id));
+  }
+}
+
+TEST(TraceSinkTest, RingEvictsOldestBeyondCapacity) {
+  TraceOptions opts;
+  opts.capacity = 4;
+  TraceSink sink(opts);
+  for (RequestId id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(sink.begin_request(id, static_cast<SimTime>(id)));
+    sink.end_request(id, static_cast<SimTime>(id) + 5, 5);
+  }
+  EXPECT_EQ(sink.kept_count(), 4u);
+  EXPECT_EQ(sink.stats().traces_evicted, 6u);
+  const TraceReport report = sink.report();
+  ASSERT_EQ(report.traces.size(), 4u);
+  EXPECT_EQ(report.traces.front().id, 7u);  // 1..6 evicted
+  EXPECT_EQ(report.traces.back().id, 10u);
+}
+
+TEST(TraceSinkTest, TailSamplingKeepsOnlySloViolators) {
+  TraceOptions opts;
+  opts.head_sample_rate = 0.0;  // nothing head-sampled
+  opts.keep_slo_violators = true;
+  TraceSink sink(opts);
+  sink.set_slo_threshold(100);
+  for (RequestId id = 1; id <= 20; ++id) {
+    EXPECT_TRUE(sink.should_record(id));
+    ASSERT_TRUE(sink.begin_request(id, 0));
+    // Odd ids violate (latency 150 > 100), even ids do not.
+    sink.end_request(id, 200, id % 2 == 1 ? 150 : 50);
+  }
+  EXPECT_EQ(sink.kept_count(), 10u);
+  EXPECT_EQ(sink.stats().slo_violators_kept, 10u);
+  EXPECT_EQ(sink.stats().requests_discarded, 10u);
+  for (const RequestTrace& t : sink.report().traces) {
+    EXPECT_TRUE(t.slo_violation);
+    EXPECT_FALSE(t.head_sampled);
+    EXPECT_EQ(t.id % 2, 1u);
+  }
+}
+
+TEST(TraceSinkTest, SpansForUnknownRequestsAreIgnored) {
+  TraceSink sink(TraceOptions{});
+  sink.add_span(span(42, SpanKind::kExec, 0, 0, 10));
+  EXPECT_EQ(sink.stats().spans_recorded, 0u);
+  ASSERT_TRUE(sink.begin_request(1, 0));
+  sink.add_span(span(1, SpanKind::kExec, 0, 0, 10));
+  EXPECT_EQ(sink.stats().spans_recorded, 1u);
+}
+
+TEST(TraceSinkTest, AbandonDropsPendingBuffer) {
+  TraceSink sink(TraceOptions{});
+  ASSERT_TRUE(sink.begin_request(1, 0));
+  sink.add_span(span(1, SpanKind::kExec, 0, 0, 10));
+  sink.abandon_request(1);
+  EXPECT_EQ(sink.pending_count(), 0u);
+  EXPECT_EQ(sink.kept_count(), 0u);
+  EXPECT_EQ(sink.stats().requests_abandoned, 1u);
+}
+
+TEST(TraceSinkTest, PendingOverflowRefusesNewRequests) {
+  TraceOptions opts;
+  opts.max_pending = 2;
+  TraceSink sink(opts);
+  EXPECT_TRUE(sink.begin_request(1, 0));
+  EXPECT_TRUE(sink.begin_request(2, 0));
+  EXPECT_FALSE(sink.begin_request(3, 0));
+  EXPECT_EQ(sink.stats().pending_overflow, 1u);
+  sink.end_request(1, 10, 10);
+  EXPECT_TRUE(sink.begin_request(4, 10));
+}
+
+TEST(TraceSinkTest, DecisionCapCountsDrops) {
+  TraceOptions opts;
+  opts.max_decisions = 3;
+  TraceSink sink(opts);
+  for (int i = 0; i < 5; ++i) {
+    sink.add_decision({static_cast<SimTime>(i), DecisionKind::kCoreGrant,
+                       "escalator", 0, 1, 2});
+  }
+  EXPECT_EQ(sink.stats().decisions_recorded, 3u);
+  EXPECT_EQ(sink.stats().decisions_dropped, 2u);
+  EXPECT_EQ(sink.report().decisions.size(), 3u);
+}
+
+// Hand-built report: client -> svc0 -> reply, with exec + conn-wait +
+// hops, plus one decision event.
+TraceReport tiny_report() {
+  TraceOptions opts;
+  TraceSink sink(opts);
+  sink.set_slo_threshold(1000);
+  EXPECT_TRUE(sink.begin_request(7, 0));
+  sink.add_span(span(7, SpanKind::kNetHop, 0, 0, 100));        // client -> 0
+  sink.add_span(span(7, SpanKind::kExec, 0, 100, 400));        // exec
+  sink.add_span(span(7, SpanKind::kConnWait, 0, 400, 450));    // pool wait
+  auto visit = span(7, SpanKind::kVisit, 0, 100, 500);
+  visit.boost_active_ns = 200.0;
+  sink.add_span(visit);
+  auto back = span(7, SpanKind::kNetHop, -1, 500, 600);        // 0 -> client
+  back.src_container = 0;
+  back.is_response = true;
+  sink.add_span(back);
+  sink.end_request(7, 600, 600);
+  sink.add_decision({250, DecisionKind::kFreqBoost, "first-responder", 0, 0,
+                     3200});
+  sink.set_container_info({{0, 0, "app/frontend"}});
+  return sink.report();
+}
+
+TEST(ChromeTraceTest, EmitsStructurallyValidJson) {
+  const std::string json = chrome_trace_json(tiny_report());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("app/frontend"), std::string::npos);
+  EXPECT_NE(json.find("first-responder"), std::string::npos);
+
+  // Structural sanity without a JSON library: braces/brackets balance and
+  // quotes pair up (the exporter escapes embedded quotes).
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ChromeTraceTest, DeterministicForSameReport) {
+  EXPECT_EQ(chrome_trace_json(tiny_report()), chrome_trace_json(tiny_report()));
+}
+
+TEST(BreakdownTest, FractionsComputedFromSpans) {
+  const auto rows = latency_breakdown(tiny_report());
+  ASSERT_EQ(rows.size(), 1u);
+  const BreakdownRow& r = rows[0];
+  EXPECT_EQ(r.service, "app/frontend");
+  EXPECT_EQ(r.visits, 1u);
+  EXPECT_DOUBLE_EQ(r.avg_visit_us, 0.4);          // 400 ns visit
+  EXPECT_DOUBLE_EQ(r.conn_wait_frac, 50.0 / 400.0);
+  EXPECT_DOUBLE_EQ(r.boost_frac, 200.0 / 400.0);
+  EXPECT_DOUBLE_EQ(r.avg_net_in_us, 0.1);         // 100 ns inbound hop
+}
+
+TEST(CriticalPathTest, GreedyCoverAccountsGaps) {
+  TraceSink sink(TraceOptions{});
+  ASSERT_TRUE(sink.begin_request(1, 0));
+  sink.add_span(span(1, SpanKind::kNetHop, 0, 0, 100));
+  auto e = span(1, SpanKind::kExec, 0, 100, 300);
+  e.cpu_served_ns = 150.0;  // 50 ns cpu-queue inside the exec segment
+  sink.add_span(e);
+  // Uncovered [300, 400): a structural gap.
+  sink.add_span(span(1, SpanKind::kNetHop, -1, 400, 500));
+  sink.end_request(1, 500, 500);
+  const auto paths = critical_paths(sink.report(), 1);
+  ASSERT_EQ(paths.size(), 1u);
+  const CriticalPath& p = paths[0];
+  EXPECT_EQ(p.latency, 500);
+  EXPECT_EQ(p.net_ns, 200);
+  EXPECT_EQ(p.exec_ns, 150);
+  EXPECT_EQ(p.queue_ns, 50);
+  EXPECT_EQ(p.gap_ns, 100);
+  EXPECT_EQ(p.exec_ns + p.queue_ns + p.net_ns + p.gap_ns, p.latency);
+}
+
+TEST(CriticalPathTest, SlowestRequestsFirst) {
+  TraceSink sink(TraceOptions{});
+  for (RequestId id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(sink.begin_request(id, 0));
+    const SimTime latency = static_cast<SimTime>(100 * id);
+    sink.add_span(span(id, SpanKind::kNetHop, 0, 0, latency));
+    sink.end_request(id, latency, latency);
+  }
+  const auto paths = critical_paths(sink.report(), 2);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].id, 3u);
+  EXPECT_EQ(paths[1].id, 2u);
+}
+
+TEST(TraceEnumsTest, ToStringCoversAllValues) {
+  EXPECT_STREQ(to_string(SpanKind::kVisit), "visit");
+  EXPECT_STREQ(to_string(SpanKind::kExec), "exec");
+  EXPECT_STREQ(to_string(SpanKind::kConnWait), "conn-wait");
+  EXPECT_STREQ(to_string(SpanKind::kNetHop), "net-hop");
+  EXPECT_STREQ(to_string(DecisionKind::kCoreGrant), "core-grant");
+  EXPECT_STREQ(to_string(DecisionKind::kCoreRevoke), "core-revoke");
+  EXPECT_STREQ(to_string(DecisionKind::kFreqBoost), "freq-boost");
+  EXPECT_STREQ(to_string(DecisionKind::kFreqLower), "freq-lower");
+  EXPECT_STREQ(to_string(DecisionKind::kUpscaleStamp), "upscale-stamp");
+  EXPECT_STREQ(to_string(DecisionKind::kAllocSet), "alloc-set");
+}
+
+}  // namespace
+}  // namespace sg

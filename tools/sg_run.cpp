@@ -9,7 +9,7 @@
 // histogram and the violation volume.
 //
 // Usage:
-//   sg_run <config-file> [--histogram] [--quiet] [--fault-plan SPEC]
+//   sg_run <config-file> [flags]   (sg_run --help lists every flag)
 // See sample_config at the repository root for all recognized keys.
 //
 // --fault-plan overrides the config file's fault.plan key with a chaos
@@ -17,17 +17,49 @@
 //   --fault-plan "drop:start_ms=6000,len_ms=2000,rate=0.1;slow:node=0,start_ms=9000,len_ms=500,factor=0.25"
 // Faults are seed-deterministic: the same config + seed + plan reproduces
 // the identical fault timeline (see EXPERIMENTS.md "Chaos experiments").
+//
+// --trace records per-request spans and controller decisions, prints a
+// per-service latency breakdown plus the slowest requests' critical paths,
+// and writes a Chrome trace_event JSON (open in Perfetto / chrome://tracing)
+// to --trace-out. Traces are byte-identical for a fixed seed.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "common/csv.hpp"
 #include "core/config_map.hpp"
 #include "core/reporting.hpp"
+#include "trace/export.hpp"
 
 using namespace sg;
 
 namespace {
+
+void print_usage(const char* argv0, std::FILE* out) {
+  std::fprintf(out,
+               "usage: %s <config-file> [flags]\n"
+               "\n"
+               "Runs one config-driven experiment (see sample_config for "
+               "recognized keys).\n"
+               "\n"
+               "flags:\n"
+               "  --histogram        print the wrk2-style latency "
+               "percentile table\n"
+               "  --quiet            suppress setup/progress output "
+               "(results still print)\n"
+               "  --fault-plan SPEC  override fault.plan with a chaos "
+               "schedule (drop/dup/delay/slow/freeze/part windows)\n"
+               "  --trace            enable per-request tracing "
+               "(overrides trace.enabled)\n"
+               "  --trace-sample R   head-sampling rate in [0, 1] "
+               "(overrides trace.sample)\n"
+               "  --trace-out PATH   Chrome trace_event JSON output path "
+               "(default trace.json)\n"
+               "  --help             show this help and exit\n",
+               argv0);
+}
 
 void print_histogram(const LoadGenResults& results) {
   std::printf("\nLatency distribution (wrk2-style):\n");
@@ -44,20 +76,45 @@ void print_histogram(const LoadGenResults& results) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      print_usage(argv[0], stdout);
+      return 0;
+    }
+  }
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <config-file> [--histogram] [--quiet]\n"
-                 "see sample_config for recognized keys\n",
-                 argv[0]);
+    print_usage(argv[0], stderr);
     return 2;
   }
-  bool histogram = false, quiet = false;
+  bool histogram = false, quiet = false, trace_flag = false;
   const char* fault_spec = nullptr;
+  const char* trace_sample = nullptr;
+  const char* trace_out = nullptr;
   for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--histogram") == 0) histogram = true;
-    if (std::strcmp(argv[i], "--quiet") == 0) quiet = true;
-    if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
-      fault_spec = argv[++i];
+    const auto needs_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--histogram") == 0) {
+      histogram = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0) {
+      fault_spec = needs_value("--fault-plan");
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_flag = true;
+    } else if (std::strcmp(argv[i], "--trace-sample") == 0) {
+      trace_sample = needs_value("--trace-sample");
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out = needs_value("--trace-out");
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s' (see --help)\n",
+                   argv[i]);
+      return 2;
     }
   }
 
@@ -80,6 +137,22 @@ int main(int argc, char** argv) {
     }
     cfg->fault_plan = *plan;
   }
+  // Trace flags override the config file's trace.* keys; providing a sample
+  // rate or an output path implies --trace.
+  if (trace_flag || trace_sample != nullptr || trace_out != nullptr) {
+    cfg->trace_enabled = true;
+  }
+  if (trace_sample != nullptr) {
+    const double rate = std::atof(trace_sample);
+    if (rate < 0.0 || rate > 1.0) {
+      std::fprintf(stderr, "error: --trace-sample must be in [0, 1]\n");
+      return 2;
+    }
+    cfg->trace_sample = rate;
+  }
+  const std::string trace_path =
+      trace_out != nullptr ? trace_out
+                           : file_cfg->get_string("trace.out", "trace.json");
   if (!cfg->fault_plan.empty()) {
     // Chaos runs retry by default (a dropped packet would otherwise strand
     // its request forever) and drain past the last fault window. Explicit
@@ -157,5 +230,41 @@ int main(int argc, char** argv) {
   table.print();
 
   if (histogram) print_histogram(r.load);
+
+  if (r.trace) {
+    const TraceReport& tr = *r.trace;
+    print_banner("trace");
+    TablePrinter summary({"metric", "value"});
+    summary.add_row({"requests recorded",
+                     std::to_string(tr.stats.requests_recorded)});
+    summary.add_row({"traces kept", std::to_string(tr.stats.requests_kept)});
+    summary.add_row({"SLO violators kept",
+                     std::to_string(tr.stats.slo_violators_kept)});
+    summary.add_row({"spans", std::to_string(tr.stats.spans_recorded)});
+    summary.add_row({"controller decisions",
+                     std::to_string(tr.stats.decisions_recorded)});
+    if (tr.stats.traces_evicted > 0) {
+      summary.add_row({"traces evicted (ring full)",
+                       std::to_string(tr.stats.traces_evicted)});
+    }
+    summary.print();
+
+    std::printf("\nPer-service latency breakdown (kept traces):\n");
+    breakdown_table(tr).print();
+
+    std::printf("\nCritical paths of the slowest requests:\n");
+    critical_path_table(tr, 3).print();
+
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    out << chrome_trace_json(tr);
+    out.close();
+    std::printf(
+        "\nwrote %s (load in Perfetto / chrome://tracing to inspect)\n",
+        trace_path.c_str());
+  }
   return 0;
 }
