@@ -1,0 +1,40 @@
+// Determinism firewall, compile-time half (see tools/sglint/ for the
+// static-analysis half and DESIGN.md §7 for the policy).
+//
+// Every SurgeGuard result depends on runs being bit-reproducible for a
+// fixed seed: controller comparisons, the chaos suite, and the
+// byte-identical trace exports all diff numbers across runs. Ambient
+// randomness (std::random_device, srand) and wall-clock reads
+// (system_clock / steady_clock / high_resolution_clock, clock_gettime,
+// gettimeofday) silently break that invariant, so for simulator code they
+// are not merely linted — they fail the build. This header is force-included
+// (-include) into every TU of the src/ libraries via the sg_poison CMake
+// target and `#pragma GCC poison`s the banned identifiers.
+//
+// The standard headers that legitimately *define or mention* the banned
+// names are included first: once their include guards are set, the poisoned
+// tokens never reappear during preprocessing, so the poison only fires on
+// project code that actually names them. (This is the standard pattern for
+// poisoning symbols the library itself must still define.)
+//
+// Escape hatch: a TU that genuinely needs wall-clock time (none in src/
+// today) can define SG_ALLOW_NONDETERMINISM before this header is seen —
+// i.e. via target_compile_definitions, since -include runs first — and must
+// carry an sg-lint `allow()` justification for the same symbols anyway.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <ctime>
+#include <future>
+#include <mutex>
+#include <random>
+#include <shared_mutex>
+#include <thread>
+
+#if defined(__GNUC__) && !defined(SG_ALLOW_NONDETERMINISM)
+#pragma GCC poison srand random_device
+#pragma GCC poison system_clock steady_clock high_resolution_clock
+#pragma GCC poison clock_gettime gettimeofday timespec_get
+#endif

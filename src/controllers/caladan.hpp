@@ -12,8 +12,6 @@
 // tiny energy, enormous violation volume.
 #pragma once
 
-#include <unordered_map>
-
 #include "controllers/controller.hpp"
 
 namespace sg {

@@ -6,8 +6,8 @@
 // calls start() once; the controller then drives itself via periodic events.
 #pragma once
 
+#include <map>
 #include <string>
-#include <unordered_map>
 
 #include "app/application.hpp"
 #include "cluster/cluster.hpp"
@@ -88,7 +88,9 @@ class BusyWindowTracker {
     SimTime at = 0;
     double last_avg = 0.0;
   };
-  std::unordered_map<int, State> last_;
+  // Ordered map (determinism rule D1): per-container FP state shared by
+  // every controller's decision loop must stay order-stable.
+  std::map<int, State> last_;
 };
 
 /// No-op controller: containers keep their initial allocation. Baseline for

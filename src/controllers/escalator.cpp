@@ -1,6 +1,7 @@
 #include "controllers/escalator.hpp"
 
 #include <algorithm>
+#include <map>
 #include <vector>
 
 #include "common/logging.hpp"
@@ -34,8 +35,11 @@ void Escalator::tick() {
                            env_.node->id(), container, amount});
     }
   };
-  std::unordered_map<int, int> scores;
-  std::unordered_map<int, double> exec_ratio;
+  // Ordered maps (determinism rule D1/D3): scores feed the sorted candidate
+  // list and exec_ratio is FP state consulted across the downscale walk —
+  // neither may depend on hash order.
+  std::map<int, int> scores;
+  std::map<int, double> exec_ratio;
 
   // --- scoring pass (paper §IV-B's three checks) ---
   for (Container* c : env_.node->containers()) {

@@ -20,7 +20,7 @@
 // sensitivity only, or the full Escalator.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
 #include "controllers/controller.hpp"
 #include "metrics/sensitivity.hpp"
@@ -84,22 +84,22 @@ class Escalator final : public Controller {
   void tick();
 
   /// Scores computed on the last tick (exposed for tests / Fig. 14 traces).
-  const std::unordered_map<int, int>& last_scores() const {
-    return last_scores_;
-  }
+  const std::map<int, int>& last_scores() const { return last_scores_; }
 
   const SensitivityTracker& sensitivity() const { return sens_; }
 
  private:
   double exec_signal(const MetricsSnapshot& snap) const;
-  void downscale_pass(const std::unordered_map<int, int>& scores);
 
   ControllerEnv env_;
   Options options_;
   SensitivityTracker sens_;
   BusyWindowTracker busy_;
-  std::unordered_map<int, int> slack_streak_;
-  std::unordered_map<int, int> last_scores_;
+  // Ordered maps: the decision loop walks these (directly or via exported
+  // score snapshots), and decisions must replay identically per seed
+  // (determinism rule D1).
+  std::map<int, int> slack_streak_;
+  std::map<int, int> last_scores_;
   long tick_count_ = 0;
 };
 

@@ -39,7 +39,8 @@ void IdealOracleController::start() {
   }
 }
 
-void IdealOracleController::on_surge_detected(const SpikePattern::Window& w) {
+void IdealOracleController::on_surge_detected(
+    const SpikePattern::Window& /*window*/) {
   const double spike_rate = options_.pattern.spike_rate_rps;
   const double base_rate = options_.pattern.base_rate_rps;
   const double delay_s = to_seconds(options_.detection_delay);

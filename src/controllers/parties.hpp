@@ -13,7 +13,7 @@
 // instead of the root-cause downstream service.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
 #include "controllers/controller.hpp"
 
@@ -57,7 +57,9 @@ class PartiesController final : public Controller {
   Options options_;
   BusyWindowTracker busy_;
   /// Consecutive low-latency intervals per container (downscale FSM).
-  std::unordered_map<int, int> slack_streak_;
+  /// Ordered map (determinism rule D1): decision-loop state stays
+  /// order-stable so future traversals cannot introduce hash-order runs.
+  std::map<int, int> slack_streak_;
 };
 
 }  // namespace sg

@@ -6,8 +6,8 @@
 // never see another node's metrics (decentralization, Fig. 1).
 #pragma once
 
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "metrics/container_metrics.hpp"
@@ -22,7 +22,7 @@ class MetricsBus {
   /// Latest snapshot for a container (nullopt if never published).
   std::optional<MetricsSnapshot> latest(int container) const;
 
-  /// Containers that have ever published.
+  /// Containers that have ever published, in ascending id order.
   std::vector<int> known_containers() const;
 
   /// True when the latest snapshot for `container` is older than `now -
@@ -31,7 +31,9 @@ class MetricsBus {
   bool is_stale(int container, SimTime now, SimTime staleness) const;
 
  private:
-  std::unordered_map<int, MetricsSnapshot> latest_;
+  // Ordered map: controllers and exporters enumerate published containers,
+  // and that order must be identical across runs (determinism rule D1).
+  std::map<int, MetricsSnapshot> latest_;
 };
 
 /// One MetricsBus per node. Container runtimes publish to their own node's

@@ -9,7 +9,7 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -107,9 +107,12 @@ class Network {
   Simulator& sim_;
   NetworkLatencyModel model_;
   Rng rng_;
-  std::unordered_map<int, Receiver> receivers_;
+  // Ordered maps (determinism rule D1): today these are lookup-only, but
+  // the planned event-loop sharding will walk per-node endpoint tables at
+  // shard boundaries — that traversal must not depend on hash order.
+  std::map<int, Receiver> receivers_;
   Receiver client_receiver_;
-  std::unordered_map<int, std::vector<RxHook*>> hooks_;
+  std::map<int, std::vector<RxHook*>> hooks_;
   PacketFaultHook* fault_hook_ = nullptr;
   std::uint64_t packets_delivered_ = 0;
   std::uint64_t packets_dropped_ = 0;

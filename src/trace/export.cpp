@@ -64,7 +64,10 @@ std::map<int, std::string> name_map(const TraceReport& report) {
 
 std::string name_of(const std::map<int, std::string>& names, int container) {
   const auto it = names.find(container);
-  return it != names.end() ? it->second : "c" + std::to_string(container);
+  if (it != names.end()) return it->second;
+  std::string fallback = "c";
+  fallback += std::to_string(container);
+  return fallback;
 }
 
 }  // namespace

@@ -1,0 +1,14 @@
+// sg-lint fixture: D1 across the header/.cpp boundary — the member is
+// declared in cross_file_member.hpp, the iteration happens here.
+#include "cross_file_member.hpp"
+
+namespace fixture {
+
+std::vector<int> Registry::all_ids() const {
+  std::vector<int> out;
+  // sglint: expect(D1)
+  for (const auto& [id, v] : entries_) out.push_back(id);
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// sg-lint fixture: the header half of the cross-file D1 case. The unordered
+// member is declared here; the hash-order iteration lives in the .cpp. The
+// header itself is clean (declaring an unordered container is fine — only
+// traversal is a finding).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+class Registry {
+ public:
+  std::vector<int> all_ids() const;
+
+ private:
+  std::unordered_map<int, int> entries_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,53 @@
+// sg-lint fixture: D1 — iteration over unordered containers.
+//
+// Never compiled; linted by the sglint_selftest ctest, which demands that
+// findings match the expect() annotations exactly (rule id + line).
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+int range_for_over_unordered() {
+  std::unordered_map<int, int> scores;
+  scores[1] = 2;
+  int total = 0;
+  // sglint: expect(D1)
+  for (const auto& [id, s] : scores) total += s;
+  return total;
+}
+
+int iterator_loop_over_unordered() {
+  std::unordered_set<int> ids;
+  int total = 0;
+  // sglint: expect(D1)
+  for (auto it = ids.begin(); it != ids.end(); ++it) total += *it;
+  return total;
+}
+
+using Index = std::unordered_map<int, double>;  // sglint: expect(D3)
+
+std::vector<int> bulk_copy_is_still_hash_order(const Index& idx) {
+  Index local = idx;
+  std::vector<int> keys;
+  // sglint: expect(D1)
+  for (const auto& [k, v] : local) keys.push_back(k);
+  return keys;
+}
+
+// Lookups never depend on bucket order: no finding.
+int lookups_are_fine(const std::unordered_map<int, int>& m) {
+  const auto it = m.find(3);
+  return it == m.end() ? 0 : it->second;
+}
+
+// Ordered containers iterate deterministically: no finding. (Distinct name
+// on purpose: D1's name tracking is file-wide, not scope-aware.)
+int ordered_iteration_is_fine(const std::map<int, int>& ordered) {
+  int total = 0;
+  for (const auto& [k, v] : ordered) total += v;
+  return total;
+}
+
+}  // namespace fixture

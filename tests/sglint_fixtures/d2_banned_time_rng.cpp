@@ -1,0 +1,47 @@
+// sg-lint fixture: D2 — ambient clock reads and non-seeded randomness.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+long wall_clock_read() {
+  // sglint: expect(D2)
+  const auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count();
+}
+
+long monotonic_clock_read() {
+  // sglint: expect(D2)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long benchmark_clock_read() {
+  // sglint: expect(D2)
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}
+
+int ambient_rng() {
+  // sglint: expect(D2)
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+
+int c_library_rng() {
+  // sglint: expect(D2)
+  std::srand(42);
+  // sglint: expect(D2)
+  return std::rand();
+}
+
+long c_library_time() {
+  // sglint: expect(D2)
+  return std::time(nullptr);
+}
+
+// Identifiers merely containing the banned words are not findings.
+int randomize_nothing(int operand) { return operand; }
+int timed_out(int timeout) { return timeout; }
+
+}  // namespace fixture

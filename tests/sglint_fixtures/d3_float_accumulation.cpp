@@ -1,0 +1,23 @@
+// sg-lint fixture: D3 — float/double in unordered containers. Accumulating
+// FP values in hash order makes the total depend on bucket layout even when
+// no explicit iteration is visible at the declaration site.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Accumulators {
+  // sglint: expect(D3)
+  std::unordered_map<int, double> totals;
+  // sglint: expect(D3)
+  std::unordered_map<float, int> by_measurement;
+  // sglint: expect(D3)
+  std::unordered_set<double> seen_values;
+
+  // Ordered FP accumulation and integer hash maps are both fine.
+  std::map<int, double> ordered_totals;
+  std::unordered_map<int, long> counts;
+};
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// sg-lint fixture: D4 — raw new/delete outside src/common/.
+#include <memory>
+
+namespace fixture {
+
+struct Buf {
+  int x = 0;
+};
+
+Buf* leak_prone_make() {
+  // sglint: expect(D4)
+  return new Buf();
+}
+
+void manual_destroy(Buf* b) {
+  // sglint: expect(D4)
+  delete b;
+}
+
+// Ownership through the standard machinery: no finding.
+std::unique_ptr<Buf> owned_make() { return std::make_unique<Buf>(); }
+
+// Deleted special members are declarations, not deallocations: no finding.
+struct NoCopy {
+  NoCopy() = default;
+  NoCopy(const NoCopy&) = delete;
+  NoCopy& operator=(const NoCopy&) = delete;
+};
+
+}  // namespace fixture

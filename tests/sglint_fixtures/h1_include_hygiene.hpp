@@ -1,0 +1,12 @@
+// sg-lint fixture: H1 — `using namespace` in a header leaks into every
+// translation unit that includes it.
+#pragma once
+
+#include <vector>
+
+// sglint: expect(H1)
+using namespace std;
+
+namespace fixture {
+using Ints = vector<int>;
+}  // namespace fixture

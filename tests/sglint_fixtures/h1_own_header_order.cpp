@@ -1,0 +1,11 @@
+// sg-lint fixture: H1 — a .cpp must include its own header before anything
+// else, so a header that is not self-contained fails to compile here rather
+// than in whichever unlucky TU includes it first.
+#include <vector>
+
+// sglint: expect(H1)
+#include "h1_own_header_order.hpp"
+
+namespace fixture {
+int answer() { return static_cast<int>(std::vector<int>{42}.back()); }
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// sg-lint fixture: the header half of the own-header-first case. Clean on
+// its own — the violation lives in the .cpp include order.
+#pragma once
+
+namespace fixture {
+int answer();
+}  // namespace fixture

@@ -1,0 +1,233 @@
+// sg-lint lexer: a minimal, dependency-free C++ tokenizer.
+//
+// The rules (rules.hpp) operate on a token stream with comments, string
+// literals, and char literals stripped, so a banned identifier inside a
+// string or a comment can never produce a false positive. Comments are kept
+// on the side: they carry the `sglint:` control directives (allow/expect).
+//
+// This is deliberately NOT a C++ parser. Every rule sg-lint enforces is
+// expressible over tokens plus a little local context (balanced template
+// brackets, "previous token"), which keeps the tool self-contained — no
+// libclang, no compile database — and fast enough to run on every build.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace sglint {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+/// A comment, with enough position info to decide which source line its
+/// directives apply to: a trailing comment governs its own line, a
+/// whole-line comment governs the next line.
+struct Comment {
+  std::string text;
+  int line = 0;
+  bool code_before = false;  // true when code precedes it on the same line
+};
+
+/// One #include directive, in file order.
+struct Include {
+  std::string target;  // path between the delimiters
+  bool quoted = false;  // "..." vs <...>
+  int line = 0;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Include> includes;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  LexResult run() {
+    LexResult out;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        line_had_code_ = false;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        out.comments.push_back(line_comment());
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        out.comments.push_back(block_comment());
+        continue;
+      }
+      if (c == '#' && !line_had_code_) {
+        preprocessor_line(out);
+        continue;
+      }
+      if (c == '"') {
+        if (!out.tokens.empty() && out.tokens.back().text == "R" &&
+            out.tokens.back().line == line_) {
+          raw_string();
+        } else {
+          string_literal();
+        }
+        line_had_code_ = true;
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        line_had_code_ = true;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.tokens.push_back(identifier());
+        line_had_code_ = true;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        out.tokens.push_back(number());
+        line_had_code_ = true;
+        continue;
+      }
+      // `::` is one token so rules can tell scope resolution from a
+      // range-for colon without extra lookahead.
+      if (c == ':' && peek(1) == ':') {
+        out.tokens.push_back({"::", line_});
+        pos_ += 2;
+        line_had_code_ = true;
+        continue;
+      }
+      out.tokens.push_back({std::string(1, c), line_});
+      ++pos_;
+      line_had_code_ = true;
+    }
+    return out;
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  Comment line_comment() {
+    Comment c{"", line_, line_had_code_};
+    pos_ += 2;
+    while (pos_ < src_.size() && src_[pos_] != '\n') c.text += src_[pos_++];
+    return c;
+  }
+
+  Comment block_comment() {
+    Comment c{"", line_, line_had_code_};
+    pos_ += 2;
+    while (pos_ < src_.size() &&
+           !(src_[pos_] == '*' && peek(1) == '/')) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+        line_had_code_ = false;
+      }
+      c.text += src_[pos_++];
+    }
+    pos_ = pos_ + 2 <= src_.size() ? pos_ + 2 : src_.size();
+    return c;
+  }
+
+  void preprocessor_line(LexResult& out) {
+    const int start_line = line_;
+    std::string text;
+    // Collect the full logical line (honoring backslash continuations).
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (src_[pos_] == '/' && peek(1) == '/') break;  // trailing comment
+      text += src_[pos_++];
+    }
+    // Only #include carries rule-relevant structure; other directives are
+    // opaque to every current rule.
+    std::size_t i = 1;  // past '#'
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (text.compare(i, 7, "include") == 0) {
+      i += 7;
+      while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+      if (i < text.size() && (text[i] == '"' || text[i] == '<')) {
+        const char close = text[i] == '"' ? '"' : '>';
+        const bool quoted = text[i] == '"';
+        std::string target;
+        for (++i; i < text.size() && text[i] != close; ++i) target += text[i];
+        out.includes.push_back({target, quoted, start_line});
+      }
+    }
+  }
+
+  void string_literal() {
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\') ++pos_;
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+  }
+
+  void raw_string() {
+    // R"delim( ... )delim"  — the R token was already emitted; swallow the
+    // rest so nothing inside reaches the rules.
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    const std::string close = ")" + delim + "\"";
+    const std::size_t end = src_.find(close, pos_);
+    const std::size_t stop = end == std::string::npos ? src_.size() : end + close.size();
+    for (; pos_ < stop; ++pos_) {
+      if (src_[pos_] == '\n') ++line_;
+    }
+  }
+
+  void char_literal() {
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;
+  }
+
+  Token identifier() {
+    Token t{"", line_};
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_')) {
+      t.text += src_[pos_++];
+    }
+    return t;
+  }
+
+  Token number() {
+    Token t{"", line_};
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '.' || src_[pos_] == '\'')) {
+      t.text += src_[pos_++];
+    }
+    return t;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool line_had_code_ = false;
+};
+
+}  // namespace sglint
