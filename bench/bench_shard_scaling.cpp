@@ -1,0 +1,121 @@
+// Sharded event-loop scaling (DESIGN.md §8): wall-clock speedup of the
+// parallel simulation versus the serial path, with the bit-identity
+// invariant checked on every cell.
+//
+// Grid: nodes x shards (shards <= nodes). Every (nodes, shards) cell runs
+// the same pinned surge config; within a node count, all shard counts must
+// produce the SAME result (events processed, VV, energy) — a cell that
+// diverges is reported and fails the bench. Speedup is reported against the
+// shards = 1 cell of the same node count.
+//
+// Emits BENCH_shard_scaling.json (machine-readable rows) alongside the
+// printed table. Speedups depend on the host's core count: with one core
+// the sharded loop still runs (windows execute inline or time-sliced) but
+// cannot beat serial; near-linear scaling needs >= `shards` free cores.
+#include <chrono>
+#include <fstream>
+
+#include "bench_common.hpp"
+
+using namespace sg;
+using namespace sg::bench;
+
+namespace {
+
+struct Cell {
+  int nodes = 0;
+  int shards = 0;
+  double wall_ms = 0.0;
+  double speedup = 1.0;
+  std::uint64_t events = 0;
+  double vv = 0.0;
+  double energy = 0.0;
+  bool identical = true;
+};
+
+double wall_clock_ms() {
+  // sglint: allow(D2) wall-clock IS the measurement here (host speedup)
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now.time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+
+  std::vector<Cell> cells;
+  bool all_identical = true;
+
+  for (const int nodes : {1, 2, 4, 8}) {
+    ExperimentConfig base;
+    base.workload = make_chain();
+    base.controller = ControllerKind::kSurgeGuard;
+    base.nodes = nodes;
+    base.seed = args.seed;
+    base.surge_mult = 1.75;
+    args.apply_timing(base);
+    const ProfileResult profile =
+        profile_workload(base.workload, nodes, base.target_mult, 42);
+
+    print_banner("shard scaling - CHAIN, " + std::to_string(nodes) +
+                 " node(s)");
+    TablePrinter table(
+        {"shards", "wall (ms)", "speedup", "events", "identical"});
+
+    Cell serial;
+    for (const int shards : {1, 2, 4, 8}) {
+      if (shards > nodes) continue;
+      ExperimentConfig cfg = base;
+      cfg.shards = shards;
+      const double t0 = wall_clock_ms();
+      const ExperimentResult r = run_experiment(cfg, profile);
+      const double t1 = wall_clock_ms();
+
+      Cell cell;
+      cell.nodes = nodes;
+      cell.shards = shards;
+      cell.wall_ms = t1 - t0;
+      cell.events = r.events_processed;
+      cell.vv = r.load.violation_volume_ms_s;
+      cell.energy = r.energy_joules;
+      if (shards == 1) {
+        serial = cell;
+      } else {
+        cell.speedup = serial.wall_ms / std::max(cell.wall_ms, 1e-9);
+        cell.identical = cell.events == serial.events &&
+                         cell.vv == serial.vv && cell.energy == serial.energy;
+        all_identical &= cell.identical;
+      }
+      table.add_row({std::to_string(shards), fmt_double(cell.wall_ms, 1),
+                     fmt_double(cell.speedup, 2) + "x",
+                     std::to_string(cell.events),
+                     cell.identical ? "yes" : "NO - DIVERGED"});
+      cells.push_back(cell);
+    }
+    table.print();
+  }
+
+  std::ofstream json("BENCH_shard_scaling.json");
+  json << "{\n  \"bench\": \"shard_scaling\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    json << "    {\"nodes\": " << c.nodes << ", \"shards\": " << c.shards
+         << ", \"wall_ms\": " << fmt_double(c.wall_ms, 3)
+         << ", \"speedup\": " << fmt_double(c.speedup, 3)
+         << ", \"events\": " << c.events
+         << ", \"identical\": " << (c.identical ? "true" : "false") << "}"
+         << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nwrote BENCH_shard_scaling.json\n");
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "error: sharded runs diverged from serial (see table)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/shard_context.hpp"
 #include "trace/trace.hpp"
 
 namespace sg {
@@ -71,7 +72,12 @@ Application::Application(Cluster& cluster, Network& network,
   SG_ASSERT(deployment.node_of_service.size() == spec_.services.size());
   SG_ASSERT(deployment.initial_cores.size() == spec_.services.size());
 
+  NodeId max_node = 0;
+  for (NodeId n : deployment.node_of_service) max_node = std::max(max_node, n);
+  nodes_.resize(static_cast<std::size_t>(max_node) + 1);
+
   services_.reserve(spec_.services.size());
+  service_rngs_.reserve(spec_.services.size());
   for (std::size_t i = 0; i < spec_.services.size(); ++i) {
     const ServiceSpec& ss = spec_.services[i];
     Container& c = cluster_.add_container(
@@ -94,6 +100,7 @@ Application::Application(Cluster& cluster, Network& network,
       sr.child_pools.push_back(std::make_unique<ConnectionPool>(cap));
     }
     services_.push_back(std::move(sr));
+    service_rngs_.push_back(rng_.fork());
     service_by_container_.emplace(c.id(), static_cast<int>(i));
     network_.register_receiver(c.id(),
                                [this](const RpcPacket& pkt) { on_packet(pkt); });
@@ -103,6 +110,9 @@ Application::Application(Cluster& cluster, Network& network,
 void Application::start_metric_publication() {
   for (ServiceRuntime& sr : services_) {
     ServiceRuntime* srp = &sr;
+    // Each service's publication chain lives on the shard owning its node,
+    // where both the metrics it flushes and the bus it publishes to live.
+    ShardScope scope(cluster_.sim().shard_of_node(sr.container->node()));
     cluster_.sim().schedule_periodic(
         options_.metrics_interval, options_.metrics_interval, [this, srp]() {
           const MetricsSnapshot snap =
@@ -140,6 +150,13 @@ AppTopology Application::topology() const {
     topo.downstream.emplace(sr.container->id(), std::move(kids));
   }
   return topo;
+}
+
+Application::NodeState& Application::node_state_of_key(std::uint64_t key) {
+  const int node = node_of_key(key);
+  SG_ASSERT_MSG(node >= 0 && static_cast<std::size_t>(node) < nodes_.size(),
+                "key with unknown node tag");
+  return nodes_[static_cast<std::size_t>(node)];
 }
 
 Application::ServiceRuntime& Application::runtime_of_container(int container) {
@@ -182,7 +199,9 @@ void Application::on_request(const RpcPacket& pkt) {
     }
   }
 
-  const std::uint64_t key = next_visit_key_++;
+  NodeState& ns = nodes_[static_cast<std::size_t>(sr.container->node())];
+  const std::uint64_t key =
+      make_node_key(sr.container->node(), ns.next_visit_seq++);
   Visit v;
   v.request_id = pkt.request_id;
   v.service = sr.index;
@@ -200,24 +219,27 @@ void Application::on_request(const RpcPacket& pkt) {
     v.exec_begin = now;
     v.exec_share0 = sr.container->share_integral_ns();
   }
-  visits_.emplace(key, v);
+  ns.visits.emplace(key, v);
   if (sr.index == 0) {
     ++in_flight_;
     entry_visit_by_request_.emplace(pkt.request_id, key);
   }
 
-  const double work = sr.spec->work_ns_mean <= 0.0
-                          ? 0.0
-                          : (sr.spec->work_sigma > 0.0
-                                 ? rng_.lognormal_mean(sr.spec->work_ns_mean,
-                                                       sr.spec->work_sigma)
-                                 : sr.spec->work_ns_mean);
+  const double work =
+      sr.spec->work_ns_mean <= 0.0
+          ? 0.0
+          : (sr.spec->work_sigma > 0.0
+                 ? service_rngs_[static_cast<std::size_t>(sr.index)]
+                       .lognormal_mean(sr.spec->work_ns_mean,
+                                       sr.spec->work_sigma)
+                 : sr.spec->work_ns_mean);
   sr.container->submit(work, [this, key]() { on_own_work_done(key); });
 }
 
 void Application::on_own_work_done(std::uint64_t key) {
-  auto it = visits_.find(key);
-  SG_ASSERT(it != visits_.end());
+  NodeState& ns = node_state_of_key(key);
+  auto it = ns.visits.find(key);
+  SG_ASSERT(it != ns.visits.end());
   Visit& v = it->second;
   ServiceRuntime& sr = services_[static_cast<std::size_t>(v.service)];
   const ServiceSpec& spec = *sr.spec;
@@ -252,16 +274,18 @@ void Application::on_own_work_done(std::uint64_t key) {
 }
 
 void Application::begin_child(std::uint64_t key, std::size_t child_idx) {
-  auto it = visits_.find(key);
-  SG_ASSERT(it != visits_.end());
+  NodeState& ns = node_state_of_key(key);
+  auto it = ns.visits.find(key);
+  SG_ASSERT(it != ns.visits.end());
   ServiceRuntime& sr = services_[static_cast<std::size_t>(it->second.service)];
   ConnectionPool& pool = *sr.child_pools[child_idx];
   const SimTime t0 = cluster_.sim().now();
   // The acquire may complete now (free connection) or later (implicit
   // queue). The wait, if any, is the hidden-dependency time (Fig. 5b).
   pool.acquire([this, key, child_idx, t0]() {
-    auto vit = visits_.find(key);
-    SG_ASSERT(vit != visits_.end());
+    auto& vmap = node_state_of_key(key).visits;
+    auto vit = vmap.find(key);
+    SG_ASSERT(vit != vmap.end());
     Visit& v = vit->second;
     const SimTime wait = cluster_.sim().now() - t0;
     v.conn_wait += wait;
@@ -283,8 +307,9 @@ void Application::begin_child(std::uint64_t key, std::size_t child_idx) {
 
 void Application::send_child_rpc(std::uint64_t key, std::size_t child_idx,
                                  int attempt) {
-  auto it = visits_.find(key);
-  SG_ASSERT(it != visits_.end());
+  NodeState& ns = node_state_of_key(key);
+  auto it = ns.visits.find(key);
+  SG_ASSERT(it != ns.visits.end());
   Visit& v = it->second;
   ServiceRuntime& sr = services_[static_cast<std::size_t>(v.service)];
   const int child_service = sr.spec->children[child_idx];
@@ -293,7 +318,9 @@ void Application::send_child_rpc(std::uint64_t key, std::size_t child_idx,
 
   RpcPacket pkt;
   pkt.request_id = v.request_id;
-  pkt.call_id = next_call_id_++;
+  // Call ids carry the caller's node tag, so the response (delivered back
+  // on the caller's node) finds the right pending-call partition.
+  pkt.call_id = make_node_key(sr.container->node(), ns.next_call_seq++);
   pkt.src_container = sr.container->id();
   pkt.src_node = sr.container->node();
   pkt.dst_container = child_container.id();
@@ -312,46 +339,49 @@ void Application::send_child_rpc(std::uint64_t key, std::size_t child_idx,
         options_.retry.timeout_for_attempt(attempt),
         [this, call_id = pkt.call_id]() { on_call_timeout(call_id); });
   }
-  pending_calls_.emplace(pkt.call_id, pc);
+  ns.pending_calls.emplace(pkt.call_id, pc);
   network_.send(pkt.src_node, pkt);
 }
 
 void Application::on_call_timeout(std::uint64_t call_id) {
-  const auto it = pending_calls_.find(call_id);
-  if (it == pending_calls_.end()) return;  // response won the race
+  NodeState& ns = node_state_of_key(call_id);
+  const auto it = ns.pending_calls.find(call_id);
+  if (it == ns.pending_calls.end()) return;  // response won the race
   const PendingCall pc = it->second;
   // The held connection stays held across retransmissions: the retry is the
   // same logical call, re-sent on the same connection.
-  pending_calls_.erase(it);
+  ns.pending_calls.erase(it);
   if (pc.attempt < options_.retry.max_retries) {
-    ++rpc_retries_;
+    ++ns.rpc_retries;
     send_child_rpc(pc.visit_key, pc.child_idx, pc.attempt + 1);
     return;
   }
   // Retries exhausted: abandon the call but complete the visit degraded, so
   // the request conserves (it drains as completed, never strands).
-  ++rpc_failures_;
+  ++ns.rpc_failures;
   on_child_reply(pc.visit_key, pc.child_idx);
 }
 
 void Application::on_response(const RpcPacket& pkt) {
-  const auto it = pending_calls_.find(pkt.call_id);
-  if (it == pending_calls_.end()) {
+  NodeState& ns = node_state_of_key(pkt.call_id);
+  const auto it = ns.pending_calls.find(pkt.call_id);
+  if (it == ns.pending_calls.end()) {
     // Duplicate response, or an original that lost the race against its own
     // retransmission. At-least-once delivery makes these benign under
     // faults; count them so fault-free tests can assert zero.
-    ++stray_responses_;
+    ++ns.stray_responses;
     return;
   }
   const PendingCall pc = it->second;
   if (pc.timer != kInvalidEvent) cluster_.sim().cancel(pc.timer);
-  pending_calls_.erase(it);
+  ns.pending_calls.erase(it);
   on_child_reply(pc.visit_key, pc.child_idx);
 }
 
 void Application::on_child_reply(std::uint64_t key, std::size_t child_idx) {
-  auto it = visits_.find(key);
-  SG_ASSERT(it != visits_.end());
+  NodeState& ns = node_state_of_key(key);
+  auto it = ns.visits.find(key);
+  SG_ASSERT(it != ns.visits.end());
   Visit& v = it->second;
   ServiceRuntime& sr = services_[static_cast<std::size_t>(v.service)];
   sr.child_pools[child_idx]->release();
@@ -369,8 +399,9 @@ void Application::on_child_reply(std::uint64_t key, std::size_t child_idx) {
 }
 
 void Application::finish_children(std::uint64_t key) {
-  auto it = visits_.find(key);
-  SG_ASSERT(it != visits_.end());
+  NodeState& ns = node_state_of_key(key);
+  auto it = ns.visits.find(key);
+  SG_ASSERT(it != ns.visits.end());
   Visit& v = it->second;
   ServiceRuntime& sr = services_[static_cast<std::size_t>(v.service)];
   const double post = sr.spec->post_work_ns_mean;
@@ -382,9 +413,11 @@ void Application::finish_children(std::uint64_t key) {
       v.exec_begin = cluster_.sim().now();
       v.exec_share0 = sr.container->share_integral_ns();
     }
-    const double work = sr.spec->work_sigma > 0.0
-                            ? rng_.lognormal_mean(post, sr.spec->work_sigma)
-                            : post;
+    const double work =
+        sr.spec->work_sigma > 0.0
+            ? service_rngs_[static_cast<std::size_t>(sr.index)].lognormal_mean(
+                  post, sr.spec->work_sigma)
+            : post;
     sr.container->submit(work, [this, key]() { reply(key); });
   } else {
     reply(key);
@@ -392,8 +425,9 @@ void Application::finish_children(std::uint64_t key) {
 }
 
 void Application::reply(std::uint64_t key) {
-  auto it = visits_.find(key);
-  SG_ASSERT(it != visits_.end());
+  NodeState& ns = node_state_of_key(key);
+  auto it = ns.visits.find(key);
+  SG_ASSERT(it != ns.visits.end());
   Visit& v = it->second;
   ServiceRuntime& sr = services_[static_cast<std::size_t>(v.service)];
   const SimTime now = cluster_.sim().now();
@@ -450,7 +484,7 @@ void Application::reply(std::uint64_t key) {
     ++requests_completed_;
     entry_visit_by_request_.erase(v.request_id);
   }
-  visits_.erase(it);
+  ns.visits.erase(it);
   network_.send(pkt.src_node, pkt);
 }
 

@@ -1,0 +1,17 @@
+#include "common/shard_context.hpp"
+
+namespace sg {
+
+namespace {
+thread_local int t_current_shard = 0;
+}  // namespace
+
+int current_shard() { return t_current_shard; }
+
+ShardScope::ShardScope(int shard) : prev_(t_current_shard) {
+  t_current_shard = shard;
+}
+
+ShardScope::~ShardScope() { t_current_shard = prev_; }
+
+}  // namespace sg

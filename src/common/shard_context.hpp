@@ -1,0 +1,32 @@
+// Thread-local shard routing for the sharded event loop (DESIGN.md §8).
+//
+// Every thread carries a "current shard" index; Simulator routes now(),
+// schedule_*() and cancel() through it. Shard worker threads pin their own
+// index for the lifetime of the thread, and single-threaded code (tests,
+// setup, shard count 1) defaults to shard 0, which is also the only shard —
+// so unsharded simulations never notice this layer exists.
+//
+// ShardScope is used during testbed construction to aim setup-time
+// scheduling (periodic ticks, fault windows, experiment bookkeeping events)
+// at the shard that owns the target node.
+#pragma once
+
+namespace sg {
+
+/// Shard index the calling thread currently schedules into.
+int current_shard();
+
+/// RAII override of the calling thread's current shard.
+class ShardScope {
+ public:
+  explicit ShardScope(int shard);
+  ~ShardScope();
+
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+}  // namespace sg

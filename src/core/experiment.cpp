@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/shard_context.hpp"
 #include "controllers/caladan.hpp"
 #include "controllers/centralized.hpp"
 #include "controllers/controller.hpp"
@@ -48,8 +49,18 @@ struct Testbed {
   MetricsPlane metrics;
   std::unique_ptr<Application> app;
   std::vector<std::unique_ptr<Controller>> controllers;
+  /// Node hosting controllers[i] — start() must run on that node's shard.
+  std::vector<int> controller_nodes;
   std::vector<FirstResponder*> first_responders;
   std::unique_ptr<FaultInjector> faults;
+
+  /// Starts every controller on its owning node's shard.
+  void start_controllers() {
+    for (std::size_t i = 0; i < controllers.size(); ++i) {
+      ShardScope scope(sim.shard_of_node(controller_nodes[i]));
+      controllers[i]->start();
+    }
+  }
 
   Testbed(std::uint64_t seed, int nodes)
       : sim(seed), cluster(sim), network(sim), metrics(static_cast<std::size_t>(nodes)) {}
@@ -60,6 +71,24 @@ std::unique_ptr<Testbed> build_testbed(const ExperimentConfig& config,
                                        const SpikePattern& pattern) {
   auto tb = std::make_unique<Testbed>(config.seed, config.nodes);
   const WorkloadInfo& w = config.workload;
+
+  SG_ASSERT_MSG(config.shards >= 1, "sim.shards must be >= 1");
+  SG_ASSERT_MSG(config.shards <= config.nodes,
+                "sim.shards cannot exceed the node count");
+  if (config.shards > 1) {
+    SG_ASSERT_MSG(config.controller != ControllerKind::kCentralizedML &&
+                      config.controller != ControllerKind::kMLPlusSurgeGuard,
+                  "centralized controllers require sim.shards == 1");
+    std::vector<int> shard_of_node(static_cast<std::size_t>(config.nodes));
+    for (int n = 0; n < config.nodes; ++n) {
+      shard_of_node[static_cast<std::size_t>(n)] = n % config.shards;
+    }
+    tb->sim.configure_shards(config.shards, std::move(shard_of_node),
+                             tb->network.model().min_cross_node_ns());
+  }
+  // Per-sender wire streams: applied at every shard count so the drawn
+  // jitter — and therefore every result — is invariant to sim.shards.
+  tb->network.configure_node_streams(config.nodes);
 
   if (config.trace_enabled) {
     TraceOptions topts;
@@ -130,12 +159,15 @@ std::unique_ptr<Testbed> build_testbed(const ExperimentConfig& config,
     switch (config.controller) {
       case ControllerKind::kStatic:
         tb->controllers.push_back(std::make_unique<StaticController>(std::move(env)));
+        tb->controller_nodes.push_back(n);
         break;
       case ControllerKind::kParties:
         tb->controllers.push_back(std::make_unique<PartiesController>(std::move(env)));
+        tb->controller_nodes.push_back(n);
         break;
       case ControllerKind::kCaladan:
         tb->controllers.push_back(std::make_unique<CaladanAlgo>(std::move(env)));
+        tb->controller_nodes.push_back(n);
         break;
       case ControllerKind::kCentralizedML:
         // Centralized by definition: ONE instance sees every node. Created
@@ -143,6 +175,7 @@ std::unique_ptr<Testbed> build_testbed(const ExperimentConfig& config,
         if (n == 0) {
           tb->controllers.push_back(std::make_unique<CentralizedMLController>(
               tb->sim, tb->cluster, tb->metrics, targets));
+          tb->controller_nodes.push_back(0);
         }
         break;
       case ControllerKind::kMLPlusSurgeGuard: {
@@ -151,6 +184,7 @@ std::unique_ptr<Testbed> build_testbed(const ExperimentConfig& config,
         if (n == 0) {
           tb->controllers.push_back(std::make_unique<CentralizedMLController>(
               tb->sim, tb->cluster, tb->metrics, targets));
+          tb->controller_nodes.push_back(0);
         }
         auto sg_ctrl =
             std::make_unique<SurgeGuard>(std::move(env), tb->network,
@@ -159,6 +193,7 @@ std::unique_ptr<Testbed> build_testbed(const ExperimentConfig& config,
           tb->first_responders.push_back(sg_ctrl->first_responder());
         }
         tb->controllers.push_back(std::move(sg_ctrl));
+        tb->controller_nodes.push_back(n);
         break;
       }
       case ControllerKind::kEscalator:
@@ -184,6 +219,7 @@ std::unique_ptr<Testbed> build_testbed(const ExperimentConfig& config,
           tb->first_responders.push_back(sg_ctrl->first_responder());
         }
         tb->controllers.push_back(std::move(sg_ctrl));
+        tb->controller_nodes.push_back(n);
         break;
       }
       case ControllerKind::kIdealOracle: {
@@ -194,6 +230,7 @@ std::unique_ptr<Testbed> build_testbed(const ExperimentConfig& config,
         opts.horizon = config.warmup + config.duration + 10 * kSecond;
         tb->controllers.push_back(
             std::make_unique<IdealOracleController>(std::move(env), opts));
+        tb->controller_nodes.push_back(n);
         break;
       }
     }
@@ -221,7 +258,7 @@ ProfileResult profile_workload(const WorkloadInfo& workload, int nodes,
   gen_opts.warmup = 2 * kSecond;
   gen_opts.duration = 4 * kSecond;
   LoadGenerator gen(tb->sim, tb->network, *tb->app, gen_opts);
-  for (auto& c : tb->controllers) c->start();
+  tb->start_controllers();
   gen.start();
   tb->sim.run_until(gen.measure_end());
 
@@ -269,30 +306,51 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     trace->set_slo_threshold(config.trace_keep_violators ? gen_opts.qos : 0);
   }
 
-  for (auto& c : tb->controllers) c->start();
-  gen.start();
+  tb->start_controllers();
+  {
+    // The client endpoint lives on the home shard (the one owning node 0).
+    ShardScope scope(tb->sim.shard_of_node(kClientNode));
+    gen.start();
+  }
 
   // Network-latency surge injection (the paper's second disruption class):
-  // periodic windows during which every packet pays an extra delay.
+  // periodic windows during which every packet pays an extra delay. One
+  // toggle event per sender (client + each node), scheduled into the
+  // sender's owning shard: the per-sender delay slot write stays shard-local
+  // and the event count is invariant to the shard count.
   if (config.net_delay_len > 0 && config.net_delay_extra > 0) {
     for (SimTime start = config.warmup + config.first_surge_offset;
          start < gen.measure_end(); start += config.net_delay_period) {
-      tb->sim.schedule_at(start, [&tb, &config]() {
-        tb->network.set_extra_delay(config.net_delay_extra);
-      });
-      tb->sim.schedule_at(start + config.net_delay_len, [&tb]() {
-        tb->network.set_extra_delay(0);
-      });
+      for (int src = kClientNode; src < config.nodes; ++src) {
+        ShardScope scope(tb->sim.shard_of_node(src));
+        tb->sim.schedule_at(start, [&tb, &config, src]() {
+          tb->network.set_extra_delay_for(src, config.net_delay_extra);
+        });
+        tb->sim.schedule_at(start + config.net_delay_len, [&tb, src]() {
+          tb->network.set_extra_delay_for(src, 0);
+        });
+      }
     }
   }
 
   // Energy over the measurement window only (paper subtracts idle and
-  // reports application energy during the run).
-  double energy_at_start = 0.0;
-  tb->sim.schedule_at(gen.measure_start(), [&]() {
-    tb->cluster.sync_all();
-    energy_at_start = tb->cluster.total_energy_joules();
-  });
+  // reports application energy during the run). One capture event per node,
+  // on the node's shard, each syncing only its own containers; summing the
+  // snapshot in container order reproduces total_energy_joules()'s exact FP
+  // arithmetic regardless of shard count.
+  auto energy_snapshot = std::make_shared<std::vector<double>>(
+      tb->cluster.container_count(), 0.0);
+  for (int n = 0; n < config.nodes; ++n) {
+    ShardScope scope(tb->sim.shard_of_node(n));
+    tb->sim.schedule_at(gen.measure_start(), [&tb, n, energy_snapshot]() {
+      for (std::size_t i = 0; i < tb->cluster.container_count(); ++i) {
+        Container& c = tb->cluster.container(static_cast<ContainerId>(i));
+        if (c.node() != n) continue;
+        c.sync();
+        (*energy_snapshot)[i] = c.energy_joules();
+      }
+    });
+  }
 
   tb->sim.run_until(gen.measure_end());
   if (config.drain > 0) {
@@ -309,6 +367,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   out.measure_end = gen.measure_end();
   out.avg_cores = tb->cluster.average_allocated_cores(gen.measure_start(),
                                                       gen.measure_end());
+  double energy_at_start = 0.0;
+  for (const double e : *energy_snapshot) energy_at_start += e;
   out.energy_joules = tb->cluster.total_energy_joules() - energy_at_start;
 
   for (const FirstResponder* fr : tb->first_responders) {

@@ -16,6 +16,7 @@ RepStats run_replicated(const ExperimentConfig& config,
 
   unsigned threads = options.threads;
   if (threads == 0) {
+    // sglint: allow(D5) replication sizing only; no simulator state is shared
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   threads = std::min<unsigned>(threads, static_cast<unsigned>(reps));
@@ -23,6 +24,7 @@ RepStats run_replicated(const ExperimentConfig& config,
   // Work-stealing index; each worker builds and runs whole simulations
   // locally (no shared mutable state between replications, CP.2), writing
   // into its own pre-sized slot.
+  // sglint: allow(D5) work-stealing cursor over independent replications
   std::atomic<int> next{0};
   auto worker = [&]() {
     for (;;) {
@@ -37,6 +39,7 @@ RepStats run_replicated(const ExperimentConfig& config,
   if (threads <= 1) {
     worker();
   } else {
+    // sglint: allow(D5) replication pool; each worker runs its own simulator
     std::vector<std::jthread> pool;
     pool.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/assert.hpp"
+#include "common/shard_context.hpp"
 
 namespace sg {
 
@@ -29,6 +30,18 @@ FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan)
 void FaultInjector::arm(Network* net, Cluster* cluster) {
   SG_ASSERT_MSG(!armed_, "fault injector armed twice");
   armed_ = true;
+  if (cluster != nullptr) {
+    // Fork per-source streams in a fixed order (client first, then nodes)
+    // so each sender's coin-flip sequence is a pure function of its own
+    // packet order — shard-count invariant.
+    per_node_ = true;
+    client_stream_ = rng_.fork();
+    node_streams_.reserve(cluster->node_count());
+    for (std::size_t n = 0; n < cluster->node_count(); ++n) {
+      node_streams_.push_back(rng_.fork());
+    }
+    node_stats_.assign(cluster->node_count() + 1, FaultStats{});
+  }
   if (net != nullptr) net->set_fault_hook(this);
   if (cluster != nullptr) schedule_node_windows(*cluster);
   // Controller-stall windows gate periodic kController ticks. The gate is
@@ -51,7 +64,6 @@ void FaultInjector::schedule_node_windows(Cluster& cluster) {
   for (const FaultWindow& w : plan_.windows()) {
     if (w.kind != FaultKind::kNodeSlowdown && w.kind != FaultKind::kNodeFreeze)
       continue;
-    // Resolve targets at fire time (containers may attach after arm()).
     std::vector<NodeId> targets;
     if (w.node >= 0) {
       SG_ASSERT_MSG(static_cast<std::size_t>(w.node) < cluster.node_count(),
@@ -62,53 +74,84 @@ void FaultInjector::schedule_node_windows(Cluster& cluster) {
         targets.push_back(static_cast<NodeId>(n));
       }
     }
-    if (w.kind == FaultKind::kNodeSlowdown) {
-      const double factor = w.factor;
-      sim_.schedule_at(w.start, [this, &cluster, targets, factor]() {
-        for (NodeId n : targets) {
+    // One start/end event per target node, scheduled into the node's owning
+    // shard: the node effect (containers resolve at fire time) and the stats
+    // increment both stay on that shard, and the event count per window is a
+    // function of the node count alone — identical at any shard count.
+    for (NodeId n : targets) {
+      ShardScope scope(sim_.shard_of_node(static_cast<int>(n)));
+      if (w.kind == FaultKind::kNodeSlowdown) {
+        const double factor = w.factor;
+        sim_.schedule_at(w.start, [this, &cluster, n, factor]() {
           cluster.node(n).set_slowdown(factor);
-          ++stats_.node_slowdowns;
-        }
-      });
-      sim_.schedule_at(w.end, [&cluster, targets]() {
-        for (NodeId n : targets) cluster.node(n).set_slowdown(1.0);
-      });
-    } else {
-      sim_.schedule_at(w.start, [this, &cluster, targets]() {
-        for (NodeId n : targets) {
+          ++stats_slot(static_cast<int>(n)).node_slowdowns;
+        });
+        sim_.schedule_at(w.end, [&cluster, n]() {
+          cluster.node(n).set_slowdown(1.0);
+        });
+      } else {
+        sim_.schedule_at(w.start, [this, &cluster, n]() {
           cluster.node(n).freeze();
-          ++stats_.node_freezes;
-        }
-      });
-      sim_.schedule_at(w.end, [this, &cluster, targets]() {
-        for (NodeId n : targets) {
+          ++stats_slot(static_cast<int>(n)).node_freezes;
+        });
+        sim_.schedule_at(w.end, [this, &cluster, n]() {
           cluster.node(n).restart();
-          ++stats_.node_restarts;
-        }
-      });
+          ++stats_slot(static_cast<int>(n)).node_restarts;
+        });
+      }
     }
   }
 }
 
-PacketFate FaultInjector::on_send(const RpcPacket&) {
+Rng& FaultInjector::stream_for(int src_node) {
+  if (!per_node_) return rng_;
+  if (src_node < 0) return client_stream_;
+  SG_ASSERT_MSG(static_cast<std::size_t>(src_node) < node_streams_.size(),
+                "fault stream for unknown node");
+  return node_streams_[static_cast<std::size_t>(src_node)];
+}
+
+FaultStats& FaultInjector::stats_slot(int node) {
+  if (!per_node_) return stats_;
+  const std::size_t slot = static_cast<std::size_t>(node + 1);
+  SG_ASSERT_MSG(slot < node_stats_.size(), "fault stats for unknown node");
+  return node_stats_[slot];
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats total = stats_;
+  for (const FaultStats& s : node_stats_) {
+    total.packets_dropped += s.packets_dropped;
+    total.packets_duplicated += s.packets_duplicated;
+    total.packets_delayed += s.packets_delayed;
+    total.node_slowdowns += s.node_slowdowns;
+    total.node_freezes += s.node_freezes;
+    total.node_restarts += s.node_restarts;
+  }
+  return total;
+}
+
+PacketFate FaultInjector::on_send(const RpcPacket& pkt) {
   const SimTime now = sim_.now();
+  Rng& rng = stream_for(pkt.src_node);
+  FaultStats& st = stats_slot(pkt.src_node);
   PacketFate fate;
   // Draw order is fixed (drop, then dup) and unconditional within an active
   // window, so the RNG stream consumed per packet depends only on the
-  // packet sequence — not on outcomes — keeping replays aligned.
+  // sender's packet sequence — not on outcomes — keeping replays aligned.
   const double drop_p = plan_.drop_rate_at(now);
-  if (drop_p > 0.0 && rng_.bernoulli(drop_p)) {
+  if (drop_p > 0.0 && rng.bernoulli(drop_p)) {
     fate.drop = true;
-    ++stats_.packets_dropped;
+    ++st.packets_dropped;
     return fate;
   }
   const double dup_p = plan_.dup_rate_at(now);
-  if (dup_p > 0.0 && rng_.bernoulli(dup_p)) {
+  if (dup_p > 0.0 && rng.bernoulli(dup_p)) {
     fate.duplicate = true;
-    ++stats_.packets_duplicated;
+    ++st.packets_duplicated;
   }
   fate.extra_delay_ns = plan_.extra_delay_at(now);
-  if (fate.extra_delay_ns > 0) ++stats_.packets_delayed;
+  if (fate.extra_delay_ns > 0) ++st.packets_delayed;
   return fate;
 }
 

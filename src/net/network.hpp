@@ -6,6 +6,12 @@
 // (`netif_receive_skb`), seeing every packet before it reaches the
 // destination container. `Network` therefore runs a per-node hook chain at
 // delivery time, before invoking the destination's receiver callback.
+//
+// Under sharded execution (DESIGN.md §8) the network is also the shard
+// boundary: sends whose destination lives on another shard are routed
+// through the simulator's deterministic mailbox, and every delivery carries
+// a canonical rank — (source node, per-source sequence) — so that
+// same-nanosecond delivery order is identical at any shard count.
 #pragma once
 
 #include <functional>
@@ -58,6 +64,16 @@ struct NetworkLatencyModel {
   /// Additional delay injected on every packet (used by experiments that
   /// model transient network slowdowns).
   SimTime extra_delay_ns = 0;
+
+  /// Smallest latency any cross-node packet can experience — the
+  /// conservative-sync lookahead for sharded execution. Extra delays
+  /// (surges, fault injection) only ever add on top.
+  SimTime min_cross_node_ns() const {
+    const auto floor_ns =
+        static_cast<SimTime>(static_cast<double>(cross_node_ns) *
+                             (1.0 - jitter));
+    return floor_ns > 1 ? floor_ns : 1;
+  }
 };
 
 class Network {
@@ -68,6 +84,15 @@ class Network {
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+
+  /// Switches to per-source-node jitter streams, delivery sequences, and
+  /// extra-delay slots for `node_count` nodes (plus the client endpoint).
+  /// This makes every latency draw a function of the *sending node's* local
+  /// history instead of a global draw order, which is what keeps results
+  /// identical at any shard count — so experiments call this even with one
+  /// shard. Must run before any traffic; directly-constructed networks that
+  /// never call it keep the historical single-stream behavior.
+  void configure_node_streams(int node_count);
 
   /// Registers the receiver for packets addressed to `container`. The
   /// application model registers one per service instance; the workload
@@ -85,9 +110,14 @@ class Network {
   /// the modeled latency: hooks first, then the destination receiver.
   void send(int src_node, const RpcPacket& pkt);
 
-  /// Changes the extra per-packet delay at runtime (network-latency surge
-  /// experiments).
-  void set_extra_delay(SimTime d) { model_.extra_delay_ns = d; }
+  /// Changes the extra per-packet delay for every sender at once. Only safe
+  /// while no shard is running (setup, or single-shard execution).
+  void set_extra_delay(SimTime d);
+
+  /// Changes the extra per-packet delay for one sender (kClientNode for the
+  /// client). Safe from the shard owning that sender; experiments schedule
+  /// one toggle event per node so each write happens on its own shard.
+  void set_extra_delay_for(int src_node, SimTime d);
 
   /// Installs the wire-level fault hook (nullptr clears it). Non-owning;
   /// the hook must outlive the network. With no hook installed, send() takes
@@ -96,27 +126,49 @@ class Network {
 
   const NetworkLatencyModel& model() const { return model_; }
 
-  std::uint64_t packets_delivered() const { return packets_delivered_; }
-  std::uint64_t packets_dropped() const { return packets_dropped_; }
-  std::uint64_t packets_duplicated() const { return packets_duplicated_; }
+  std::uint64_t packets_delivered() const { return sum(packets_delivered_); }
+  std::uint64_t packets_dropped() const { return sum(packets_dropped_); }
+  std::uint64_t packets_duplicated() const { return sum(packets_duplicated_); }
 
  private:
+  static std::uint64_t sum(const std::vector<std::uint64_t>& v) {
+    std::uint64_t total = 0;
+    for (std::uint64_t x : v) total += x;
+    return total;
+  }
+
+  std::size_t delay_slot(int src_node) const;
+  std::size_t counter_slot() const;
+  Rng& stream_for(int src_node);
+  std::uint64_t next_delivery_rank(int src_node);
   SimTime sample_latency(int src_node, int dst_node);
+  void schedule_delivery(int src_node, const RpcPacket& pkt, SimTime latency);
   void deliver(const RpcPacket& pkt);
 
   Simulator& sim_;
   NetworkLatencyModel model_;
   Rng rng_;
+  bool per_node_streams_ = false;
+  Rng client_stream_{0};  // reseeded by configure_node_streams
+  std::vector<Rng> node_streams_;
+  // Per-source delivery sequence numbers; slot 0 is the client. Combined
+  // with the source node id they form the canonical delivery rank.
+  std::vector<std::uint64_t> delivery_seq_;
+  // Extra per-packet delay by source (slot 0 = client; a single shared slot
+  // until configure_node_streams). Each slot is written only by the shard
+  // owning that sender.
+  std::vector<SimTime> extra_delay_;
   // Ordered maps (determinism rule D1): today these are lookup-only, but
-  // the planned event-loop sharding will walk per-node endpoint tables at
-  // shard boundaries — that traversal must not depend on hash order.
+  // the event-loop sharding walks per-node endpoint tables at shard
+  // boundaries — that traversal must not depend on hash order.
   std::map<int, Receiver> receivers_;
   Receiver client_receiver_;
   std::map<int, std::vector<RxHook*>> hooks_;
   PacketFaultHook* fault_hook_ = nullptr;
-  std::uint64_t packets_delivered_ = 0;
-  std::uint64_t packets_dropped_ = 0;
-  std::uint64_t packets_duplicated_ = 0;
+  // Per-shard counter slots (each shard increments only its own).
+  std::vector<std::uint64_t> packets_delivered_;
+  std::vector<std::uint64_t> packets_dropped_;
+  std::vector<std::uint64_t> packets_duplicated_;
 };
 
 }  // namespace sg

@@ -4,9 +4,9 @@
 
 namespace sg {
 
-EventId EventQueue::push(SimTime time, Callback cb) {
+EventId EventQueue::push(SimTime time, std::uint64_t rank, Callback cb) {
   const EventId id = next_id_++;
-  heap_.push(Entry{time, next_seq_++, id, std::move(cb)});
+  heap_.push(Entry{time, rank, next_seq_++, id, std::move(cb)});
   pending_.insert(id);
   return id;
 }

@@ -1,9 +1,16 @@
 // Pending-event set for the discrete-event simulator.
 //
-// A binary heap ordered by (time, sequence) gives deterministic FIFO
+// A binary heap ordered by (time, rank, sequence) gives deterministic
 // tie-breaking for simultaneous events — essential for reproducible
-// experiments. Cancellation is lazy (tombstones), which keeps schedule and
-// pop at O(log n) without a handle-indexed heap.
+// experiments. The rank is a caller-supplied canonical key: events pushed
+// without one (kDefaultRank) fall back to FIFO order among themselves, while
+// ranked events (network deliveries, which carry a per-source-node sequence)
+// order by rank *regardless of insertion order*. That makes same-nanosecond
+// delivery order a function of packet identity rather than of which shard's
+// queue the event happened to be inserted into — the property the sharded
+// executor (DESIGN.md §8) relies on for bit-identical results at any shard
+// count. Cancellation is lazy (tombstones), which keeps schedule and pop at
+// O(log n) without a handle-indexed heap.
 #pragma once
 
 #include <cstdint>
@@ -19,12 +26,22 @@ namespace sg {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
+/// Rank of events that do not carry a canonical tie-break key. Ranked events
+/// always use a non-zero rank, so at equal timestamps unranked events (ticks,
+/// timers) run before deliveries, in both sharded and unsharded execution.
+inline constexpr std::uint64_t kDefaultRank = 0;
+
 class EventQueue {
  public:
   using Callback = std::function<void()>;
 
   /// Adds an event; returns a handle usable with cancel().
-  EventId push(SimTime time, Callback cb);
+  EventId push(SimTime time, Callback cb) {
+    return push(time, kDefaultRank, std::move(cb));
+  }
+
+  /// Adds an event with an explicit tie-break rank.
+  EventId push(SimTime time, std::uint64_t rank, Callback cb);
 
   /// Cancels a pending event. Safe to call on already-fired or invalid
   /// handles (no-op). Returns true when the event was actually pending.
@@ -48,6 +65,7 @@ class EventQueue {
  private:
   struct Entry {
     SimTime time;
+    std::uint64_t rank;
     std::uint64_t seq;
     EventId id;
     // mutable so pop() can move the callback out of the priority_queue's
@@ -55,6 +73,7 @@ class EventQueue {
     mutable Callback cb;
     bool operator>(const Entry& other) const {
       if (time != other.time) return time > other.time;
+      if (rank != other.rank) return rank > other.rank;
       return seq > other.seq;
     }
   };

@@ -1,0 +1,179 @@
+#include "sim/shard_coordinator.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/shard_context.hpp"
+#include "sim/simulator.hpp"
+
+namespace sg {
+
+ShardCoordinator::ShardCoordinator(Simulator& sim, SimTime lookahead)
+    : sim_(sim), lookahead_(lookahead) {
+  const auto n = static_cast<std::size_t>(sim_.shard_count());
+  outboxes_.resize(n);
+  outbox_seq_.assign(n, 0);
+  active_.assign(n, 0);
+}
+
+ShardCoordinator::~ShardCoordinator() = default;
+
+void ShardCoordinator::add_barrier_task(std::function<void()> task) {
+  barrier_tasks_.push_back(std::move(task));
+}
+
+void ShardCoordinator::post(int src_shard, int dst_shard, SimTime deliver_time,
+                            std::uint64_t rank, EventQueue::Callback cb) {
+  auto& src = sim_.shards_[static_cast<std::size_t>(src_shard)];
+  SG_ASSERT_MSG(deliver_time >= src.now + lookahead_,
+                "cross-shard event violates the lookahead bound");
+  auto& box = outboxes_[static_cast<std::size_t>(src_shard)];
+  box.push_back(MailboxEntry{deliver_time, rank, src_shard,
+                             outbox_seq_[static_cast<std::size_t>(src_shard)]++,
+                             dst_shard, std::move(cb)});
+}
+
+void ShardCoordinator::run_shard_window(int shard, SimTime horizon) {
+  ShardScope scope(shard);
+  auto& sh = sim_.shards_[static_cast<std::size_t>(shard)];
+  while (sh.queue.next_time() < horizon) {
+    auto fired = sh.queue.pop();
+    SG_ASSERT_MSG(fired.time >= sh.now,
+                  "event queue returned time in the past");
+    sh.now = fired.time;
+    ++sh.events_processed;
+    fired.cb();
+  }
+}
+
+void ShardCoordinator::drain_mailboxes() {
+  drain_buf_.clear();
+  for (auto& box : outboxes_) {
+    for (auto& e : box) drain_buf_.push_back(std::move(e));
+    box.clear();
+  }
+  if (drain_buf_.empty()) return;
+  std::sort(drain_buf_.begin(), drain_buf_.end(),
+            [](const MailboxEntry& a, const MailboxEntry& b) {
+              return std::tie(a.time, a.rank, a.src_shard, a.seq) <
+                     std::tie(b.time, b.rank, b.src_shard, b.seq);
+            });
+  for (auto& e : drain_buf_) {
+    sim_.shards_[static_cast<std::size_t>(e.dst_shard)].queue.push(
+        e.time, e.rank, std::move(e.cb));
+  }
+  drain_buf_.clear();
+}
+
+void ShardCoordinator::worker_loop(int shard) {
+  ShardScope scope(shard);
+  std::uint64_t seen = 0;
+  for (;;) {
+    SimTime horizon = 0;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      work_cv_.wait(lk, [&] {
+        return stop_ ||
+               (epoch_ != seen && active_[static_cast<std::size_t>(shard)]);
+      });
+      if (stop_) return;
+      seen = epoch_;
+      horizon = horizon_;
+    }
+    run_shard_window(shard, horizon);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ShardCoordinator::run_until(SimTime end) {
+  const int n = sim_.shard_count();
+  // A window's active shards run sequentially when the host cannot actually
+  // execute them in parallel: identical results (shards touch disjoint
+  // queues; the deterministic merge happens at the barrier either way)
+  // without paying a futile CV round-trip per window. The env override
+  // forces the worker path so single-core hosts can still exercise it
+  // (e.g. under TSan); it cannot change simulation output, only scheduling.
+  const bool spawn_workers = std::thread::hardware_concurrency() >= 2 ||
+                             std::getenv("SG_SHARD_FORCE_WORKERS") != nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = false;
+    remaining_ = 0;
+    active_.assign(static_cast<std::size_t>(n), 0);
+  }
+  if (spawn_workers) {
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      workers_.emplace_back([this, s] { worker_loop(s); });
+    }
+  }
+
+  std::vector<char> mark(static_cast<std::size_t>(n), 0);
+  for (;;) {
+    SimTime next = kTimeInfinity;
+    for (const auto& sh : sim_.shards_) {
+      next = std::min(next, sh.queue.next_time());
+    }
+    if (next > end) break;
+    // end + 1 lets the final window cover events at exactly `end`,
+    // matching the single-shard run_until contract (events with t <= end).
+    const SimTime horizon = std::min(next + lookahead_, end + 1);
+
+    int active_count = 0;
+    int only = -1;
+    for (int s = 0; s < n; ++s) {
+      const bool runs =
+          sim_.shards_[static_cast<std::size_t>(s)].queue.next_time() <
+          horizon;
+      mark[static_cast<std::size_t>(s)] = runs ? 1 : 0;
+      if (runs) {
+        ++active_count;
+        only = s;
+      }
+    }
+    if (active_count == 1) {
+      // Single active shard: run it inline instead of a CV round-trip.
+      run_shard_window(only, horizon);
+    } else if (!spawn_workers) {
+      for (int s = 0; s < n; ++s) {
+        if (mark[static_cast<std::size_t>(s)]) run_shard_window(s, horizon);
+      }
+    } else {
+      {
+        std::lock_guard<std::mutex> lk(mutex_);
+        active_ = mark;
+        remaining_ = active_count;
+        horizon_ = horizon;
+        ++epoch_;
+      }
+      work_cv_.notify_all();
+      {
+        std::unique_lock<std::mutex> lk(mutex_);
+        done_cv_.wait(lk, [&] { return remaining_ == 0; });
+      }
+    }
+    drain_mailboxes();
+    for (const auto& task : barrier_tasks_) task();
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+
+  for (auto& sh : sim_.shards_) {
+    if (sh.now < end) sh.now = end;
+  }
+}
+
+}  // namespace sg

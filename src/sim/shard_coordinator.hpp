@@ -1,0 +1,101 @@
+// Conservative time-window executor for the sharded event loop
+// (DESIGN.md §8).
+//
+// Protocol, per window:
+//
+//   1. The coordinator computes next = min over shards of the earliest
+//      pending event, and a horizon = min(next + lookahead, end + 1).
+//   2. Every shard with work before the horizon runs its events with
+//      t < horizon on its own worker thread (or inline on the coordinator
+//      thread when only one shard is active — the common case under low
+//      load, where waking workers would cost more than it buys).
+//   3. At the barrier, cross-shard sends that occurred during the window are
+//      drained from per-source outboxes, sorted by the canonical key
+//      (deliver_time, rank, src_shard, seq), and pushed into the destination
+//      queues; then barrier tasks (trace-log compaction) run.
+//
+// Safety: a send at local time s schedules delivery at s + wire latency, and
+// every cross-shard latency is >= lookahead, so deliveries land at
+// >= s + lookahead >= horizon — never inside the window being executed.
+// This is asserted on every post().
+//
+// Workers never spin and never touch the wall clock: all coordination is a
+// mutex + two condition variables, so the executor is correct (if pointless)
+// on a single hardware thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/event_queue.hpp"
+
+namespace sg {
+
+class Simulator;
+
+class ShardCoordinator {
+ public:
+  ShardCoordinator(Simulator& sim, SimTime lookahead);
+  ~ShardCoordinator();
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  SimTime lookahead() const { return lookahead_; }
+
+  /// Registers a task to run at every window barrier (coordinator thread,
+  /// all shards quiescent). Used for deterministic trace-log merging.
+  void add_barrier_task(std::function<void()> task);
+
+  /// Enqueues a cross-shard event from `src_shard` (must be the calling
+  /// thread's shard). Delivery must respect the lookahead bound.
+  void post(int src_shard, int dst_shard, SimTime deliver_time,
+            std::uint64_t rank, EventQueue::Callback cb);
+
+  /// Runs all shards up to and including `end` under windowed sync, then
+  /// advances every shard clock to exactly `end`.
+  void run_until(SimTime end);
+
+ private:
+  struct MailboxEntry {
+    SimTime time;
+    std::uint64_t rank;
+    int src_shard;
+    std::uint64_t seq;
+    int dst_shard;
+    EventQueue::Callback cb;
+  };
+
+  void run_shard_window(int shard, SimTime horizon);
+  void drain_mailboxes();
+  void worker_loop(int shard);
+
+  Simulator& sim_;
+  const SimTime lookahead_;
+  std::vector<std::function<void()>> barrier_tasks_;
+
+  // One outbox per source shard: only that shard's thread appends during a
+  // window, and the coordinator drains them at the barrier, so no lock is
+  // needed (the barrier's mutex hand-off orders the accesses).
+  std::vector<std::vector<MailboxEntry>> outboxes_;
+  std::vector<std::uint64_t> outbox_seq_;
+  std::vector<MailboxEntry> drain_buf_;
+
+  // Fork-join state, all guarded by mutex_.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;
+  SimTime horizon_ = 0;
+  std::vector<char> active_;
+  int remaining_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sg

@@ -18,6 +18,13 @@
 //       containers and smart pointers; raw allocation in sim code has
 //       repeatedly been the source of leak-driven address reuse, which
 //       perturbs pointer-keyed containers between runs.
+//   D5  no threading primitives (std::thread/jthread, std::mutex family,
+//       std::atomic, std::condition_variable) outside src/sim/shard* and
+//       src/common/ — the sharded event loop owns ALL cross-thread
+//       synchronization (DESIGN.md §8). Ad-hoc threading anywhere else
+//       bypasses the conservative-sync protocol and its determinism proof.
+//       Replication-level parallelism (driving many independent
+//       simulations) is legitimate and suppressed explicitly.
 //   H1  include hygiene: a .cpp includes its own header first (catches
 //       headers that are not self-contained), and headers never contain
 //       `using namespace`.
@@ -134,6 +141,7 @@ class RuleEngine {
     rule_d1_iteration(lex.tokens);
     rule_d2_time_and_rng(lex.tokens);
     rule_d4_raw_new_delete(lex.tokens);
+    rule_d5_threading_primitives(lex.tokens);
     rule_h1_include_hygiene(lex);
     rule_a0_malformed_suppressions(directives);
 
@@ -346,6 +354,32 @@ class RuleEngine {
             "raw 'delete' outside src/common/: ownership belongs to a "
             "smart pointer or container");
       }
+    }
+  }
+
+  /// D5: threading primitives outside src/sim/shard* and src/common/.
+  /// Only the std::-qualified name is flagged (bare `mutex`/`atomic` are
+  /// common as locals and fields), mirroring D2's std::time handling.
+  void rule_d5_threading_primitives(const std::vector<Token>& toks) {
+    if (file_.rfind("src/common/", 0) == 0) return;
+    if (file_.rfind("src/sim/shard", 0) == 0) return;
+    static const std::set<std::string> kPrimitives = {
+        "thread",        "jthread",
+        "mutex",         "recursive_mutex",
+        "timed_mutex",   "shared_mutex",
+        "shared_timed_mutex",
+        "atomic",        "atomic_flag",
+        "atomic_ref",
+        "condition_variable", "condition_variable_any",
+    };
+    for (std::size_t i = 2; i < toks.size(); ++i) {
+      const std::string& t = toks[i].text;
+      if (kPrimitives.count(t) == 0) continue;
+      if (toks[i - 1].text != "::" || toks[i - 2].text != "std") continue;
+      add(toks[i].line, "D5",
+          "'std::" + t +
+              "' outside src/sim/shard*: cross-thread synchronization "
+              "belongs to the sharded event loop (DESIGN.md §8)");
     }
   }
 
