@@ -95,9 +95,9 @@ struct HookFixture {
     env.topology = app->topology();
     ContainerTargets t;
     t.expected_exec_metric_ns = 1e6;
-    t.expected_time_from_start = 1 * kMillisecond;
+    t.expected_time_from_start = Duration::ms(1);
     env.targets.per_container[app->entry_container()] = t;
-    env.targets.expected_e2e_latency = 1 * kMillisecond;
+    env.targets.expected_e2e_latency = Duration::ms(1);
     fr = std::make_unique<FirstResponder>(std::move(env), network);
     fr->start();
   }
@@ -109,7 +109,7 @@ void BM_FirstResponderSlackCheck(benchmark::State& state) {
   RpcPacket pkt;
   pkt.dst_container = fx.app->entry_container();
   pkt.dst_node = 0;
-  pkt.start_time = 0;  // slack positive: pure check, no boost
+  pkt.start_time = TimePoint::origin();  // slack positive: pure check, no boost
   for (auto _ : state) {
     fx.fr->on_packet(pkt);
   }
@@ -127,7 +127,7 @@ void BM_FirstResponderViolationPath(benchmark::State& state) {
     state.PauseTiming();
     // Make the packet violating and un-freeze the path.
     fx.sim.run_until(fx.sim.now() + 10 * kMillisecond);
-    pkt.start_time = fx.sim.now() - 100 * kMillisecond;
+    pkt.start_time = fx.sim.now_point() - Duration::ms(100);
     state.ResumeTiming();
     fx.fr->on_packet(pkt);
   }

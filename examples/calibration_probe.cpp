@@ -85,12 +85,16 @@ int main(int argc, char** argv) {
          fmt_double(hi.expected_exec_metric_ns / 2e3, 1),
          fmt_double(hi.expected_exec_metric_ns /
                         std::max(1.0, lo.expected_exec_metric_ns), 2),
-         fmt_double(static_cast<double>(lo.expected_time_from_start) / 2e3, 1),
-         fmt_double(static_cast<double>(hi.expected_time_from_start) / 2e3, 1),
-         fmt_double(static_cast<double>(hi.expected_time_from_start) /
-                        std::max<double>(1.0, static_cast<double>(
-                                                  lo.expected_time_from_start)),
-                    2)});
+         fmt_double(
+             static_cast<double>(lo.expected_time_from_start.ns()) / 2e3, 1),
+         fmt_double(
+             static_cast<double>(hi.expected_time_from_start.ns()) / 2e3, 1),
+         fmt_double(
+             static_cast<double>(hi.expected_time_from_start.ns()) /
+                 std::max<double>(
+                     1.0,
+                     static_cast<double>(lo.expected_time_from_start.ns())),
+             2)});
   }
   table.print();
 

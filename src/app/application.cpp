@@ -206,8 +206,8 @@ void Application::on_request(const RpcPacket& pkt) {
   v.request_id = pkt.request_id;
   v.service = sr.index;
   v.start_time = pkt.start_time;
-  v.arrive = now;
-  v.time_from_start = now - pkt.start_time;
+  v.arrive = TimePoint::at(now);
+  v.time_from_start = v.arrive - pkt.start_time;
   v.arrived_upscale = pkt.upscale;
   v.reply_to = ReplyAddress{pkt.src_container, pkt.src_node, pkt.call_id};
   v.traced = pkt.traced && cluster_.sim().trace_sink() != nullptr;
@@ -216,7 +216,7 @@ void Application::on_request(const RpcPacket& pkt) {
     // to `now` so the delta read at completion is exact (state after sync()
     // is bit-identical to what submit() below would produce anyway).
     sr.container->sync();
-    v.exec_begin = now;
+    v.exec_begin = TimePoint::at(now);
     v.exec_share0 = sr.container->share_integral_ns();
   }
   ns.visits.emplace(key, v);
@@ -250,7 +250,7 @@ void Application::on_own_work_done(std::uint64_t key) {
       span.kind = SpanKind::kExec;
       span.container = sr.container->id();
       span.begin = v.exec_begin;
-      span.end = cluster_.sim().now();
+      span.end = cluster_.sim().now_point();
       // We run inside the container's completion handler: the share
       // integral is already advanced to now, so the delta is exact.
       span.cpu_served_ns = sr.container->share_integral_ns() - v.exec_share0;
@@ -279,7 +279,7 @@ void Application::begin_child(std::uint64_t key, std::size_t child_idx) {
   SG_ASSERT(it != ns.visits.end());
   ServiceRuntime& sr = services_[static_cast<std::size_t>(it->second.service)];
   ConnectionPool& pool = *sr.child_pools[child_idx];
-  const SimTime t0 = cluster_.sim().now();
+  const TimePoint t0 = cluster_.sim().now_point();
   // The acquire may complete now (free connection) or later (implicit
   // queue). The wait, if any, is the hidden-dependency time (Fig. 5b).
   pool.acquire([this, key, child_idx, t0]() {
@@ -287,9 +287,9 @@ void Application::begin_child(std::uint64_t key, std::size_t child_idx) {
     auto vit = vmap.find(key);
     SG_ASSERT(vit != vmap.end());
     Visit& v = vit->second;
-    const SimTime wait = cluster_.sim().now() - t0;
+    const Duration wait = cluster_.sim().now_point() - t0;
     v.conn_wait += wait;
-    if (v.traced && wait > 0) {
+    if (v.traced && wait > Duration::zero()) {
       if (TraceSink* trace = cluster_.sim().trace_sink()) {
         TraceSpan span;
         span.request_id = v.request_id;
@@ -410,7 +410,7 @@ void Application::finish_children(std::uint64_t key) {
       // Open the post-work exec segment; reply() closes it.
       sr.container->sync();
       v.post_span_open = true;
-      v.exec_begin = cluster_.sim().now();
+      v.exec_begin = cluster_.sim().now_point();
       v.exec_share0 = sr.container->share_integral_ns();
     }
     const double work =
@@ -435,7 +435,7 @@ void Application::reply(std::uint64_t key) {
   VisitRecord rec;
   rec.container = sr.container->id();
   rec.arrive = v.arrive;
-  rec.depart = now;
+  rec.depart = TimePoint::at(now);
   rec.conn_wait = v.conn_wait;
   rec.time_from_start = v.time_from_start;
   rec.upscale_hint = v.arrived_upscale > 0;
@@ -450,7 +450,7 @@ void Application::reply(std::uint64_t key) {
         post.kind = SpanKind::kExec;
         post.container = sr.container->id();
         post.begin = v.exec_begin;
-        post.end = now;
+        post.end = TimePoint::at(now);
         post.cpu_served_ns =
             sr.container->share_integral_ns() - v.exec_share0;
         trace->add_span(post);
@@ -460,9 +460,9 @@ void Application::reply(std::uint64_t key) {
       visit.kind = SpanKind::kVisit;
       visit.container = sr.container->id();
       visit.begin = v.arrive;
-      visit.end = now;
+      visit.end = TimePoint::at(now);
       visit.boost_active_ns = sr.container->freq_timeline().time_above(
-          v.arrive, now, static_cast<double>(sr.container->dvfs().min_mhz));
+          v.arrive.ns(), now, static_cast<double>(sr.container->dvfs().min_mhz));
       trace->add_span(visit);
     }
   }

@@ -182,10 +182,10 @@ class Application {
   struct Visit {
     RequestId request_id = 0;
     int service = 0;
-    SimTime start_time = 0;       // end-to-end job start (pkt.startTime)
-    SimTime arrive = 0;
-    SimTime time_from_start = 0;  // observed progress at ingress (eq. 5)
-    SimTime conn_wait = 0;        // timeWaitingForFreeConn accumulator
+    TimePoint start_time;         // end-to-end job start (pkt.startTime)
+    TimePoint arrive;
+    Duration time_from_start;     // observed progress at ingress (eq. 5)
+    Duration conn_wait;           // timeWaitingForFreeConn accumulator
     int arrived_upscale = 0;      // pkt.upscale on the incoming request
     ReplyAddress reply_to;
     std::size_t next_child = 0;   // sequential fan-out cursor
@@ -194,7 +194,7 @@ class Application {
     // --- trace context (sg::trace) ---
     bool traced = false;          // propagated from the incoming packet
     bool post_span_open = false;  // post-work exec segment pending in reply()
-    SimTime exec_begin = 0;       // open exec segment start
+    TimePoint exec_begin;         // open exec segment start
     double exec_share0 = 0.0;     // container share integral at segment open
   };
 

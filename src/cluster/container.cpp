@@ -34,17 +34,19 @@ double Container::busy_cores() const {
 
 void Container::advance() {
   const SimTime now = sim_.now();
-  const SimTime dt = now - last_advance_;
-  if (dt <= 0) return;
+  const Duration dt = Duration{now - last_advance_};
+  if (dt <= Duration::zero()) return;
   const double busy = busy_cores();
   if (busy > 0.0) {
-    energy_joules_ += params_.energy.energy_joules(busy, freq_,
-                                                   params_.dvfs.ref_mhz, dt);
+    energy_joules_ += params_.energy
+                          .energy(busy, Freq::mhz(freq_),
+                                  Freq::mhz(params_.dvfs.ref_mhz), dt)
+                          .joules();
     busy_core_seconds_ += busy * to_seconds(dt);
     // busy / N == min(1, cores/N): the common per-job core share.
-    share_integral_ns_ +=
-        static_cast<double>(dt) * busy / static_cast<double>(jobs_.size());
-    vtime_ += static_cast<double>(dt) * rate();
+    share_integral_ns_ += static_cast<double>(dt.ns()) * busy /
+                          static_cast<double>(jobs_.size());
+    vtime_ += static_cast<double>(dt.ns()) * rate();
   }
   // Allocated-but-idle cores poll (threadpools, RPC runtimes) and draw
   // power; this charges over-allocation even when no request is running.

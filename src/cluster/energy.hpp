@@ -29,17 +29,31 @@ struct EnergyModel {
   double allocated_idle_watts = 1.2;
 
   /// Power of one busy core at frequency f (idle power is excluded, as the
-  /// paper subtracts idle energy).
-  double busy_core_watts(FreqMhz f, FreqMhz ref) const {
-    const double rel = static_cast<double>(f) / static_cast<double>(ref);
+  /// paper subtracts idle energy). The frequency ratio is dimensionless
+  /// (Freq / Freq), so the formula cannot silently mix Hz with MHz.
+  double busy_core_watts(Freq f, Freq ref) const {
+    const double rel = f / ref;
     return static_watts_per_core +
            dynamic_watts_at_ref * std::pow(rel, freq_exponent);
   }
 
-  /// Energy in joules for `busy_cores` cores running `dt` at frequency f.
+  /// Raw-MHz convenience used by the DVFS plumbing (FreqMhz is the knob's
+  /// config unit); forwards to the strong-typed overload.
+  double busy_core_watts(FreqMhz f, FreqMhz ref) const {
+    return busy_core_watts(Freq::mhz(f), Freq::mhz(ref));
+  }
+
+  /// Energy for `busy_cores` cores running `dt` at frequency f.
+  Energy energy(double busy_cores, Freq f, Freq ref, Duration dt) const {
+    return Energy::joules(busy_core_watts(f, ref) * busy_cores *
+                          to_seconds(dt));
+  }
+
+  /// Legacy raw interface (joules as double, dt in ns).
   double energy_joules(double busy_cores, FreqMhz f, FreqMhz ref,
                        SimTime dt) const {
-    return busy_core_watts(f, ref) * busy_cores * to_seconds(dt);
+    return energy(busy_cores, Freq::mhz(f), Freq::mhz(ref), Duration{dt})
+        .joules();
   }
 };
 

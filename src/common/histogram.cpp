@@ -18,7 +18,7 @@ LatencyHistogram::LatencyHistogram(int sub_buckets_per_octave)
               static_cast<std::size_t>(sub_buckets_per_octave)) {}
 
 std::size_t LatencyHistogram::bucket_index(SimTime v) const {
-  if (v < 1) v = 1;
+  if (v < kNanosecond) v = kNanosecond;
   const auto uv = static_cast<std::uint64_t>(v);
   const int octave = 63 - std::countl_zero(uv);
   // Position within the octave, in [0, 1).
@@ -46,7 +46,7 @@ void LatencyHistogram::record(SimTime latency) { record_n(latency, 1); }
 
 void LatencyHistogram::record_n(SimTime latency, std::uint64_t n) {
   if (n == 0) return;
-  if (latency < 1) latency = 1;
+  if (latency < kNanosecond) latency = kNanosecond;
   counts_[bucket_index(latency)] += n;
   total_count_ += n;
   min_seen_ = std::min(min_seen_, latency);

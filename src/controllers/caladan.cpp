@@ -22,7 +22,7 @@ void CaladanAlgo::tick() {
   TraceSink* trace = env_.sim->trace_sink();
   const auto audit = [&](DecisionKind kind, int container, int amount) {
     if (trace != nullptr) {
-      trace->add_decision({env_.sim->now(), kind, "caladan",
+      trace->add_decision({env_.sim->now_point(), kind, "caladan",
                            env_.node->id(), container, amount});
     }
   };

@@ -89,7 +89,7 @@ void CentralizedMLController::apply(const std::vector<Decision>& decisions) {
       cluster_.node(c.node()).grant(&c, d.cores - c.cores());
     }
     if (trace != nullptr) {
-      trace->add_decision({sim_.now(), DecisionKind::kAllocSet,
+      trace->add_decision({sim_.now_point(), DecisionKind::kAllocSet,
                            "centralized-ml", c.node(), c.id(), c.cores()});
     }
     SG_DEBUG << "[centralized-ml] " << c.name() << " -> " << c.cores()

@@ -54,10 +54,10 @@ class BusyWindowTracker {
   double window_busy_cores(Simulator& sim, Container* c) {
     c->sync();
     State& prev = last_[c->id()];
-    const SimTime now = sim.now();
+    const TimePoint now = sim.now_point();
     const double busy_now = c->busy_core_seconds();
     double avg = static_cast<double>(c->cores());
-    if (prev.at > 0 && now > prev.at) {
+    if (prev.at > TimePoint::origin() && now > prev.at) {
       avg = (busy_now - prev.busy_core_seconds) / to_seconds(now - prev.at);
     }
     prev.busy_core_seconds = busy_now;
@@ -85,7 +85,7 @@ class BusyWindowTracker {
  private:
   struct State {
     double busy_core_seconds = 0.0;
-    SimTime at = 0;
+    TimePoint at;
     double last_avg = 0.0;
   };
   // Ordered map (determinism rule D1): per-container FP state shared by

@@ -31,7 +31,7 @@ void Escalator::tick() {
   TraceSink* trace = env_.sim->trace_sink();
   const auto audit = [&](DecisionKind kind, int container, int amount) {
     if (trace != nullptr) {
-      trace->add_decision({env_.sim->now(), kind, "escalator",
+      trace->add_decision({env_.sim->now_point(), kind, "escalator",
                            env_.node->id(), container, amount});
     }
   };

@@ -31,7 +31,7 @@ class FirstResponder final : public Controller, public RxHook {
   struct Options {
     /// Delay between detecting a violation and the frequency change taking
     /// effect (work-item enqueue 0.44us + worker MSR write 2.1us, §VI-D).
-    SimTime update_latency = 2540;  // ns
+    SimTime update_latency = 2540 * kNanosecond;
 
     /// Per-path freeze window; 0 means "derive as freeze_multiple x the
     /// profiled end-to-end latency" at start().
@@ -64,7 +64,7 @@ class FirstResponder final : public Controller, public RxHook {
   std::uint64_t violations_detected() const { return violations_detected_; }
   std::uint64_t boosts_applied() const { return boosts_applied_; }
 
-  SimTime effective_freeze_window() const { return freeze_window_; }
+  Duration effective_freeze_window() const { return freeze_window_; }
 
  private:
   void boost(int container);
@@ -72,9 +72,9 @@ class FirstResponder final : public Controller, public RxHook {
   ControllerEnv env_;
   Network& network_;
   Options options_;
-  SimTime freeze_window_ = 0;
+  Duration freeze_window_;
   /// Per-container "do not touch until" timestamps.
-  std::unordered_map<int, SimTime> frozen_until_;
+  std::unordered_map<int, TimePoint> frozen_until_;
 
   std::uint64_t packets_inspected_ = 0;
   std::uint64_t violations_detected_ = 0;

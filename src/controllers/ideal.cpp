@@ -69,7 +69,7 @@ void IdealOracleController::on_surge_detected(
       const int granted = env_.node->grant(&c, needed - c.cores());
       if (granted > 0) {
         if (TraceSink* trace = env_.sim->trace_sink()) {
-          trace->add_decision({env_.sim->now(), DecisionKind::kCoreGrant,
+          trace->add_decision({env_.sim->now_point(), DecisionKind::kCoreGrant,
                                "ideal", env_.node->id(), c.id(), granted});
         }
       }
@@ -92,7 +92,7 @@ void IdealOracleController::restore_initial() {
                                             initial_cores_[i]);
       if (revoked > 0) {
         if (TraceSink* trace = env_.sim->trace_sink()) {
-          trace->add_decision({env_.sim->now(), DecisionKind::kCoreRevoke,
+          trace->add_decision({env_.sim->now_point(), DecisionKind::kCoreRevoke,
                                "ideal", env_.node->id(), c.id(), revoked});
         }
       }

@@ -29,7 +29,7 @@ void PartiesController::tick() {
   TraceSink* trace = env_.sim->trace_sink();
   const auto audit = [&](DecisionKind kind, int container, int amount) {
     if (trace != nullptr) {
-      trace->add_decision({env_.sim->now(), kind, "parties",
+      trace->add_decision({env_.sim->now_point(), kind, "parties",
                            env_.node->id(), container, amount});
     }
   };

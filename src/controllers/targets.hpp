@@ -19,7 +19,7 @@ struct ContainerTargets {
   /// expectedExecMetric, in ns.
   double expected_exec_metric_ns = 0.0;
   /// expectedTimeFromStart, in ns (per-packet slack reference, eq. 4).
-  SimTime expected_time_from_start = 0;
+  Duration expected_time_from_start;
 };
 
 /// Targets per container id, plus application-level context derived in the
@@ -29,7 +29,7 @@ struct TargetMap {
 
   /// Expected end-to-end latency at the profiled operating point (used for
   /// FirstResponder's path-freeze window, ~2x of this).
-  SimTime expected_e2e_latency = 0;
+  Duration expected_e2e_latency;
 
   const ContainerTargets& of(int container) const {
     static const ContainerTargets kZero{};

@@ -213,7 +213,9 @@ int apply_target_overrides(const Config& cfg, const WorkloadInfo& workload,
     if (!exec && !tfs) continue;
     ContainerTargets& t = targets->per_container[static_cast<int>(i)];
     if (exec) t.expected_exec_metric_ns = *exec * 1e3;
-    if (tfs) t.expected_time_from_start = static_cast<SimTime>(*tfs * 1e3);
+    if (tfs) {
+      t.expected_time_from_start = Duration{static_cast<SimTime>(*tfs * 1e3)};
+    }
     ++overridden;
   }
   return overridden;

@@ -269,14 +269,14 @@ ProfileResult profile_workload(const WorkloadInfo& workload, int nodes,
     ContainerTargets t;
     t.expected_exec_metric_ns =
         target_mult * m.lifetime_avg_exec_metric_ns();
-    t.expected_time_from_start = static_cast<SimTime>(
-        target_mult * m.lifetime_avg_time_from_start_ns());
+    t.expected_time_from_start = Duration{static_cast<SimTime>(
+        target_mult * m.lifetime_avg_time_from_start_ns())};
     prof.targets.per_container.emplace(c.id(), t);
   }
   const LoadGenResults res = gen.results();
   prof.low_load_mean_latency = static_cast<SimTime>(res.mean_latency_ns);
   prof.low_load_p98 = res.p98;
-  prof.targets.expected_e2e_latency = prof.low_load_mean_latency;
+  prof.targets.expected_e2e_latency = Duration{prof.low_load_mean_latency};
   SG_ASSERT_MSG(res.completed > 0, "profiling run completed no requests");
   return prof;
 }
@@ -303,7 +303,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
 
   if (TraceSink* trace = tb->sim.trace_sink()) {
     // Tail sampling keys off the run's QoS (known only now).
-    trace->set_slo_threshold(config.trace_keep_violators ? gen_opts.qos : 0);
+    trace->set_slo_threshold(
+        Duration{config.trace_keep_violators ? gen_opts.qos : 0});
   }
 
   tb->start_controllers();

@@ -6,16 +6,17 @@ namespace sg {
 
 void ContainerRuntimeMetrics::record_visit(const VisitRecord& rec) {
   SG_ASSERT_MSG(rec.depart >= rec.arrive, "visit departs before it arrives");
-  SG_ASSERT_MSG(rec.conn_wait >= 0 && rec.conn_wait <= rec.exec_time(),
+  SG_ASSERT_MSG(rec.conn_wait >= Duration::zero() &&
+                    rec.conn_wait <= rec.exec_time(),
                 "conn_wait outside [0, exec_time]");
-  exec_time_.add(static_cast<double>(rec.exec_time()));
-  exec_metric_.add(static_cast<double>(rec.exec_metric()));
-  conn_wait_.add(static_cast<double>(rec.conn_wait));
-  time_from_start_.add(static_cast<double>(rec.time_from_start));
+  exec_time_.add(static_cast<double>(rec.exec_time().ns()));
+  exec_metric_.add(static_cast<double>(rec.exec_metric().ns()));
+  conn_wait_.add(static_cast<double>(rec.conn_wait.ns()));
+  time_from_start_.add(static_cast<double>(rec.time_from_start.ns()));
   hint_in_window_ = hint_in_window_ || rec.upscale_hint;
   ++total_visits_;
-  lifetime_exec_metric_.add(static_cast<double>(rec.exec_metric()));
-  lifetime_time_from_start_.add(static_cast<double>(rec.time_from_start));
+  lifetime_exec_metric_.add(static_cast<double>(rec.exec_metric().ns()));
+  lifetime_time_from_start_.add(static_cast<double>(rec.time_from_start.ns()));
 }
 
 MetricsSnapshot ContainerRuntimeMetrics::flush(SimTime now) {

@@ -21,18 +21,18 @@ namespace sg {
 /// One completed request's passage through one container.
 struct VisitRecord {
   int container = 0;
-  SimTime arrive = 0;
-  SimTime depart = 0;
+  TimePoint arrive;
+  TimePoint depart;
   /// Total time spent blocked waiting for a free downstream connection.
-  SimTime conn_wait = 0;
+  Duration conn_wait;
   /// Observed elapsed time since job start when the request arrived here
   /// (currentTime - pkt.startTime; feeds expectedTimeFromStart profiling).
-  SimTime time_from_start = 0;
+  Duration time_from_start;
   /// Whether the arriving packet carried pkt.upscale > 0.
   bool upscale_hint = false;
 
-  SimTime exec_time() const { return depart - arrive; }
-  SimTime exec_metric() const { return exec_time() - conn_wait; }
+  Duration exec_time() const { return depart - arrive; }
+  Duration exec_metric() const { return exec_time() - conn_wait; }
 };
 
 /// Windowed averages published by a container runtime.

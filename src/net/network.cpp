@@ -119,7 +119,7 @@ void Network::send(int src_node, const RpcPacket& pkt_in) {
   // copy. Traced packets get their send time stamped on it so delivery can
   // record the transit as a net-hop span.
   RpcPacket pkt = pkt_in;
-  if (pkt.traced) pkt.sent_at = sim_.now();
+  if (pkt.traced) pkt.sent_at = sim_.now_point();
   if (fault_hook_ != nullptr) {
     const PacketFate fate = fault_hook_->on_send(pkt);
     if (fate.drop) {
@@ -157,7 +157,7 @@ void Network::deliver(const RpcPacket& pkt) {
       span.container = pkt.dst_container;
       span.src_container = pkt.src_container;
       span.begin = pkt.sent_at;
-      span.end = sim_.now();
+      span.end = sim_.now_point();
       span.is_response = pkt.is_response;
       trace->add_span(span);
     }

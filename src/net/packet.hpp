@@ -49,7 +49,7 @@ struct RpcPacket {
   // --- SurgeGuard metadata (Fig. 8) ---
 
   /// End-to-end job start timestamp; propagated unchanged.
-  SimTime start_time = 0;
+  TimePoint start_time;
 
   /// Downstream upscale hint; > 0 means "consider upscaling the receiver".
   int upscale = 0;
@@ -68,7 +68,7 @@ struct RpcPacket {
   /// Send timestamp, stamped by the network on traced packets only; a
   /// delivery-time hop span [sent_at, now] captures the wire transit
   /// (including fault-injected extra delay).
-  SimTime sent_at = 0;
+  TimePoint sent_at;
 };
 
 }  // namespace sg

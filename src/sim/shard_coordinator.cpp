@@ -8,6 +8,7 @@
 
 #include "common/assert.hpp"
 #include "common/shard_context.hpp"
+#include "sim/shard_guard.hpp"
 #include "sim/simulator.hpp"
 
 namespace sg {
@@ -39,6 +40,7 @@ void ShardCoordinator::post(int src_shard, int dst_shard, SimTime deliver_time,
 
 void ShardCoordinator::run_shard_window(int shard, SimTime horizon) {
   ShardScope scope(shard);
+  SG_SHARD_GUARD_BIND(shard);
   auto& sh = sim_.shards_[static_cast<std::size_t>(shard)];
   while (sh.queue.next_time() < horizon) {
     auto fired = sh.queue.pop();
@@ -138,6 +140,7 @@ void ShardCoordinator::run_until(SimTime end) {
         only = s;
       }
     }
+    SG_SHARD_GUARD_WINDOW_BEGIN();
     if (active_count == 1) {
       // Single active shard: run it inline instead of a CV round-trip.
       run_shard_window(only, horizon);
@@ -159,6 +162,7 @@ void ShardCoordinator::run_until(SimTime end) {
         done_cv_.wait(lk, [&] { return remaining_ == 0; });
       }
     }
+    SG_SHARD_GUARD_WINDOW_END();
     drain_mailboxes();
     for (const auto& task : barrier_tasks_) task();
   }

@@ -1,0 +1,55 @@
+#include "sim/shard_guard.hpp"
+
+#ifdef SG_DEBUG_SHARD_GUARD
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sg::shard_guard {
+namespace {
+
+// Set by the coordinator strictly before workers are released and cleared
+// strictly after they quiesce; acquire/release keeps the flag itself
+// race-free even though the surrounding mutex hand-off already orders it.
+std::atomic<bool> g_window_active{false};
+
+// The shard this thread is allowed to touch during a window; -1 = unbound
+// (the coordinator/main thread outside its inline-execution stretch).
+thread_local int t_bound_shard = -1;
+
+}  // namespace
+
+void window_begin() { g_window_active.store(true, std::memory_order_release); }
+
+void window_end() { g_window_active.store(false, std::memory_order_release); }
+
+void check(std::size_t shard) {
+  if (!g_window_active.load(std::memory_order_acquire)) return;
+  if (t_bound_shard >= 0 && static_cast<std::size_t>(t_bound_shard) == shard) {
+    return;
+  }
+  std::fprintf(stderr,
+               "SG_DEBUG_SHARD_GUARD: thread bound to shard %d touched shard "
+               "%zu inside a parallel window — cross-shard work must go "
+               "through schedule_cross_shard (DESIGN.md §8)\n",
+               t_bound_shard, shard);
+  std::abort();
+}
+
+BindScope::BindScope(int shard) : prev_(t_bound_shard) {
+  t_bound_shard = shard;
+}
+
+BindScope::~BindScope() { t_bound_shard = prev_; }
+
+}  // namespace sg::shard_guard
+
+#else
+
+// The TU must not be empty when the guard is compiled out.
+namespace sg::shard_guard {
+void unused_translation_unit_anchor() {}
+}  // namespace sg::shard_guard
+
+#endif  // SG_DEBUG_SHARD_GUARD

@@ -1,0 +1,69 @@
+// Runtime shard-access guard (debug builds only, -DSG_DEBUG_SHARD_GUARD=ON).
+//
+// The sharded event loop's safety argument (DESIGN.md §8) rests on shard
+// confinement: during a parallel window, the thread bound to shard S touches
+// ONLY shard S's queue and clock; everything cross-shard goes through the
+// lookahead-checked mailbox. The type system cannot express that, and a
+// violation (say, a callback opening a ShardScope on a foreign shard and
+// scheduling directly) is a data race that may or may not trip TSan
+// depending on timing.
+//
+// This guard makes the confinement rule an *assertion*: while a window is
+// executing, every queue/clock access is checked against the calling
+// thread's bound shard, and a mismatch aborts deterministically at the
+// offending call — with a precise source location instead of a racy
+// interleaving report.
+//
+// Everything compiles to nothing unless SG_DEBUG_SHARD_GUARD is defined
+// (the CMake option adds it tree-wide); release binaries pay zero cost.
+// The CI TSan job builds with the guard ON, so the WILL_FAIL violation
+// test and the belt-and-braces combination (guard catches confinement
+// breaks deterministically, TSan catches anything racier) both run there.
+#pragma once
+
+#include <cstddef>
+
+namespace sg::shard_guard {
+
+#ifdef SG_DEBUG_SHARD_GUARD
+
+/// Marks the start/end of a parallel window: between the two calls, only
+/// bound threads may touch shard state, and only their own shard's.
+void window_begin();
+void window_end();
+
+/// Checks that the calling thread may access `shard` right now. Outside a
+/// window everything is permitted (setup and barrier code run while the
+/// workers are quiescent, ordered by the coordinator's mutex hand-off).
+void check(std::size_t shard);
+
+/// RAII binding of the calling thread to a shard for the enclosing window
+/// execution; nests (the previous binding is restored on destruction).
+class BindScope {
+ public:
+  explicit BindScope(int shard);
+  ~BindScope();
+
+  BindScope(const BindScope&) = delete;
+  BindScope& operator=(const BindScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+#define SG_SHARD_GUARD_WINDOW_BEGIN() ::sg::shard_guard::window_begin()
+#define SG_SHARD_GUARD_WINDOW_END() ::sg::shard_guard::window_end()
+#define SG_SHARD_GUARD_BIND(shard) \
+  ::sg::shard_guard::BindScope sg_shard_guard_bind_scope { (shard) }
+#define SG_SHARD_GUARD_CHECK(shard) ::sg::shard_guard::check(shard)
+
+#else  // !SG_DEBUG_SHARD_GUARD
+
+#define SG_SHARD_GUARD_WINDOW_BEGIN() ((void)0)
+#define SG_SHARD_GUARD_WINDOW_END() ((void)0)
+#define SG_SHARD_GUARD_BIND(shard) ((void)0)
+#define SG_SHARD_GUARD_CHECK(shard) ((void)0)
+
+#endif  // SG_DEBUG_SHARD_GUARD
+
+}  // namespace sg::shard_guard

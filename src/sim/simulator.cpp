@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "sim/shard_coordinator.hpp"
+#include "sim/shard_guard.hpp"
 #include "trace/trace.hpp"
 
 namespace sg {
@@ -72,6 +73,7 @@ void Simulator::schedule_cross_shard(int dst_shard, SimTime t,
 }
 
 EventId Simulator::schedule_at(SimTime t, EventQueue::Callback cb) {
+  SG_SHARD_GUARD_CHECK(shard_index());
   auto& sh = shards_[shard_index()];
   if (t < sh.now) t = sh.now;
   return sh.queue.push(t, std::move(cb));
@@ -79,18 +81,21 @@ EventId Simulator::schedule_at(SimTime t, EventQueue::Callback cb) {
 
 EventId Simulator::schedule_at_ranked(SimTime t, std::uint64_t rank,
                                       EventQueue::Callback cb) {
+  SG_SHARD_GUARD_CHECK(shard_index());
   auto& sh = shards_[shard_index()];
   if (t < sh.now) t = sh.now;
   return sh.queue.push(t, rank, std::move(cb));
 }
 
 EventId Simulator::schedule_after(SimTime delay, EventQueue::Callback cb) {
+  SG_SHARD_GUARD_CHECK(shard_index());
   auto& sh = shards_[shard_index()];
   if (delay < 0) delay = 0;
   return sh.queue.push(sh.now + delay, std::move(cb));
 }
 
 bool Simulator::step() {
+  SG_SHARD_GUARD_CHECK(shard_index());
   auto& sh = shards_[shard_index()];
   if (sh.queue.empty()) return false;
   auto fired = sh.queue.pop();

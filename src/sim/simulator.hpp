@@ -28,6 +28,7 @@
 #include "common/shard_context.hpp"
 #include "common/time.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/shard_guard.hpp"
 
 namespace sg {
 
@@ -44,6 +45,8 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return shards_[shard_index()].now; }
+  /// The clock as a strong timestamp (quantity layer, DESIGN.md §9).
+  TimePoint now_point() const { return TimePoint::at(now()); }
   Rng& rng() { return rng_; }
 
   /// Schedules a callback at absolute time t (clamped to now for past times,
@@ -58,10 +61,22 @@ class Simulator {
   /// Schedules a callback `delay` from now (delay < 0 clamps to 0).
   EventId schedule_after(SimTime delay, EventQueue::Callback cb);
 
+  // Strong-typed equivalents: migrated call sites pass TimePoint/Duration
+  // directly instead of raw nanosecond counts.
+  EventId schedule_at(TimePoint t, EventQueue::Callback cb) {
+    return schedule_at(t.ns(), std::move(cb));
+  }
+  EventId schedule_after(Duration delay, EventQueue::Callback cb) {
+    return schedule_after(delay.ns(), std::move(cb));
+  }
+
   /// Cancels a pending event (no-op for fired/unknown handles). The event
   /// must live on the calling shard — which it does for every handle the
   /// caller could legally hold, since handles never cross shards.
-  bool cancel(EventId id) { return shards_[shard_index()].queue.cancel(id); }
+  bool cancel(EventId id) {
+    SG_SHARD_GUARD_CHECK(shard_index());
+    return shards_[shard_index()].queue.cancel(id);
+  }
 
   /// Processes one event on the current shard; returns false when empty.
   bool step();
@@ -114,6 +129,16 @@ class Simulator {
   void schedule_periodic(SimTime start, SimTime period,
                          std::function<bool()> fn,
                          TickClass tick_class = TickClass::kDefault);
+
+  /// Strong-typed equivalent of schedule_periodic.
+  void schedule_periodic(TimePoint start, Duration period,
+                         std::function<bool()> fn,
+                         TickClass tick_class = TickClass::kDefault) {
+    schedule_periodic(start.ns(), period.ns(), std::move(fn), tick_class);
+  }
+
+  /// Strong-typed equivalent of run_until.
+  void run_until(TimePoint end) { run_until(end.ns()); }
 
   /// Installs the periodic-tick gate (nullptr clears it). The gate returns
   /// false to veto a firing of the given class. Installed by the fault

@@ -46,6 +46,9 @@ std::string fmt_us(SimTime ns) {
   return buf;
 }
 
+std::string fmt_us(TimePoint p) { return fmt_us(p.ns()); }
+std::string fmt_us(Duration d) { return fmt_us(d.ns()); }
+
 std::string fmt_us_d(double ns) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", ns / 1e3);
@@ -123,7 +126,7 @@ std::string chrome_trace_json(const TraceReport& report) {
                  ",\"args\":{\"req\":" + req +
                  ",\"cpu_served_us\":" + fmt_us_d(s.cpu_served_ns) +
                  ",\"cpu_queue_us\":" +
-                 fmt_us_d(static_cast<double>(s.wall()) - s.cpu_served_ns) +
+                 fmt_us_d(static_cast<double>(s.wall().ns()) - s.cpu_served_ns) +
                  "}";
           break;
         case SpanKind::kConnWait:
@@ -176,19 +179,19 @@ std::vector<BreakdownRow> latency_breakdown(const TraceReport& report) {
       switch (s.kind) {
         case SpanKind::kVisit:
           ++a.visits;
-          a.visit_wall += static_cast<double>(s.wall());
+          a.visit_wall += static_cast<double>(s.wall().ns());
           a.boost += s.boost_active_ns;
           break;
         case SpanKind::kExec:
-          a.exec_wall += static_cast<double>(s.wall());
+          a.exec_wall += static_cast<double>(s.wall().ns());
           a.served += s.cpu_served_ns;
           break;
         case SpanKind::kConnWait:
-          a.conn_wait += static_cast<double>(s.wall());
+          a.conn_wait += static_cast<double>(s.wall().ns());
           break;
         case SpanKind::kNetHop:
           if (!s.is_response) {
-            a.net_in += static_cast<double>(s.wall());
+            a.net_in += static_cast<double>(s.wall().ns());
             ++a.net_in_hops;
           }
           break;
@@ -263,8 +266,8 @@ std::vector<CriticalPath> critical_paths(const TraceReport& report,
     // Greedy interval cover: at each instant follow the covering span that
     // extends furthest; uncovered stretches (possible only for parallel
     // fan-out) are reported as gaps rather than silently attributed.
-    SimTime t = tr.begin;
-    const SimTime end = tr.end;
+    TimePoint t = tr.begin;
+    const TimePoint end = tr.end;
     while (t < end) {
       const TraceSpan* best = nullptr;
       for (const TraceSpan& s : spans) {
@@ -273,7 +276,7 @@ std::vector<CriticalPath> critical_paths(const TraceReport& report,
         }
       }
       if (best == nullptr) {
-        SimTime next = end;
+        TimePoint next = end;
         for (const TraceSpan& s : spans) {
           if (s.begin > t && s.begin < next) next = s.begin;
         }
@@ -281,18 +284,18 @@ std::vector<CriticalPath> critical_paths(const TraceReport& report,
         t = next;
         continue;
       }
-      const SimTime seg_end = std::min(best->end, end);
-      const SimTime d = seg_end - t;
+      const TimePoint seg_end = std::min(best->end, end);
+      const Duration d = seg_end - t;
       switch (best->kind) {
         case SpanKind::kExec: {
           const double frac =
-              best->wall() > 0
+              best->wall() > Duration::zero()
                   ? std::clamp(best->cpu_served_ns /
-                                   static_cast<double>(best->wall()),
+                                   static_cast<double>(best->wall().ns()),
                                0.0, 1.0)
                   : 0.0;
-          const SimTime served =
-              static_cast<SimTime>(std::llround(static_cast<double>(d) * frac));
+          const Duration served = Duration{
+              std::llround(static_cast<double>(d.ns()) * frac)};
           cp.exec_ns += served;
           cp.queue_ns += d - served;
           break;

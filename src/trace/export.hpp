@@ -47,17 +47,17 @@ TablePrinter breakdown_table(const TraceReport& report);
 struct CriticalSegment {
   SpanKind kind = SpanKind::kExec;
   int container = -1;
-  SimTime begin = 0;
-  SimTime end = 0;
+  TimePoint begin;
+  TimePoint end;
 };
 
 struct CriticalPath {
   RequestId id = 0;
-  SimTime latency = 0;
-  SimTime exec_ns = 0;   // served CPU on the path
-  SimTime queue_ns = 0;  // cpu-queue + conn-wait on the path
-  SimTime net_ns = 0;    // wire transits on the path
-  SimTime gap_ns = 0;    // uncovered time (non-sequential structure)
+  Duration latency;
+  Duration exec_ns;   // served CPU on the path
+  Duration queue_ns;  // cpu-queue + conn-wait on the path
+  Duration net_ns;    // wire transits on the path
+  Duration gap_ns;    // uncovered time (non-sequential structure)
   std::vector<CriticalSegment> segments;
 };
 

@@ -81,7 +81,7 @@ void TraceSink::compact_shard_logs() {
   }
 }
 
-bool TraceSink::begin_request(RequestId id, SimTime now) {
+bool TraceSink::begin_request(RequestId id, TimePoint now) {
   SG_ASSERT_MSG(!sharded_ || current_shard() == home_shard_,
                 "request lifecycle must run on the home shard");
   if (pending_.size() >= options_.max_pending) {
@@ -110,7 +110,7 @@ void TraceSink::add_span(const TraceSpan& span) {
   ++stats_.spans_recorded;
 }
 
-void TraceSink::end_request(RequestId id, SimTime now, SimTime latency) {
+void TraceSink::end_request(RequestId id, TimePoint now, Duration latency) {
   SG_ASSERT_MSG(!sharded_ || current_shard() == home_shard_,
                 "request lifecycle must run on the home shard");
   const auto it = pending_.find(id);
@@ -119,7 +119,7 @@ void TraceSink::end_request(RequestId id, SimTime now, SimTime latency) {
   pending_.erase(it);
   t.end = now;
   t.latency = latency;
-  t.slo_violation = slo_ns_ > 0 && latency > slo_ns_;
+  t.slo_violation = slo_ > Duration::zero() && latency > slo_;
   const bool keep =
       t.head_sampled || (options_.keep_slo_violators && t.slo_violation);
   if (!keep) {
@@ -195,7 +195,7 @@ TraceReport TraceSink::report() const {
                    });
   r.containers = containers_;
   r.stats = stats_;
-  r.slo_ns = slo_ns_;
+  r.slo = slo_;
   return r;
 }
 

@@ -61,8 +61,8 @@ struct TraceSpan {
   int container = -1;
   /// Sending container (net hops only).
   int src_container = -1;
-  SimTime begin = 0;
-  SimTime end = 0;
+  TimePoint begin;
+  TimePoint end;
   /// Net hops: response leg.
   bool is_response = false;
   /// kExec: integrated core share over [begin, end] — the time the job
@@ -71,7 +71,7 @@ struct TraceSpan {
   /// kVisit: time the serving container spent above base frequency.
   double boost_active_ns = 0.0;
 
-  SimTime wall() const { return end - begin; }
+  Duration wall() const { return end - begin; }
 };
 
 enum class DecisionKind {
@@ -86,7 +86,7 @@ enum class DecisionKind {
 const char* to_string(DecisionKind k);
 
 struct DecisionEvent {
-  SimTime at = 0;
+  TimePoint at;
   DecisionKind kind = DecisionKind::kCoreGrant;
   /// Static string: "escalator", "first-responder", "parties", ...
   const char* controller = "";
@@ -115,9 +115,9 @@ struct TraceOptions {
 /// One kept request: its spans in recording order plus keep provenance.
 struct RequestTrace {
   RequestId id = 0;
-  SimTime begin = 0;
-  SimTime end = 0;
-  SimTime latency = 0;
+  TimePoint begin;
+  TimePoint end;
+  Duration latency;
   bool head_sampled = false;
   bool slo_violation = false;
   std::vector<TraceSpan> spans;
@@ -150,8 +150,8 @@ struct TraceReport {
   std::vector<DecisionEvent> decisions;
   std::vector<TraceContainerInfo> containers;
   TraceStats stats;
-  /// SLO threshold in force (0 = tail sampling off).
-  SimTime slo_ns = 0;
+  /// SLO threshold in force (zero = tail sampling off).
+  Duration slo;
 };
 
 class TraceSink {
@@ -170,13 +170,13 @@ class TraceSink {
   }
 
   /// Tail-sampling threshold; completions with latency > slo are kept
-  /// regardless of head sampling. 0 disables (set once QoS is known).
-  void set_slo_threshold(SimTime slo_ns) { slo_ns_ = slo_ns; }
-  SimTime slo_threshold() const { return slo_ns_; }
+  /// regardless of head sampling. Zero disables (set once QoS is known).
+  void set_slo_threshold(Duration slo) { slo_ = slo; }
+  Duration slo_threshold() const { return slo_; }
 
   /// Opens a span buffer for a request. Returns false (and records nothing
   /// for this request) when max_pending in-flight buffers already exist.
-  bool begin_request(RequestId id, SimTime now);
+  bool begin_request(RequestId id, TimePoint now);
 
   /// Appends a span to its request's buffer; ignored (O(1)) when the
   /// request is not being recorded.
@@ -184,7 +184,7 @@ class TraceSink {
 
   /// Completes a request: applies the keep decision (head sample || SLO
   /// violation) and moves the buffer into the kept ring or discards it.
-  void end_request(RequestId id, SimTime now, SimTime latency);
+  void end_request(RequestId id, TimePoint now, Duration latency);
 
   /// Drops an in-flight buffer (client abandoned the request).
   void abandon_request(RequestId id);
@@ -233,7 +233,7 @@ class TraceSink {
   void record_decision(const DecisionEvent& e);
 
   TraceOptions options_;
-  SimTime slo_ns_ = 0;
+  Duration slo_;
   std::unordered_map<RequestId, RequestTrace> pending_;
   std::deque<RequestTrace> kept_;
   std::vector<DecisionEvent> decisions_;

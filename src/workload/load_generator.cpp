@@ -62,7 +62,7 @@ void LoadGenerator::schedule_next_arrival() {
 
 void LoadGenerator::issue_request() {
   const RequestId id = next_request_++;
-  const SimTime now = sim_.now();
+  const TimePoint now = sim_.now_point();
   ++issued_;
   Outstanding& o = outstanding_[id];
   o.start = now;
@@ -80,7 +80,7 @@ void LoadGenerator::issue_request() {
   send_request(id, now, o.traced);
 }
 
-void LoadGenerator::send_request(RequestId id, SimTime start_time,
+void LoadGenerator::send_request(RequestId id, TimePoint start_time,
                                  bool traced) {
   RpcPacket pkt;
   pkt.request_id = id;
@@ -130,8 +130,8 @@ void LoadGenerator::on_response(const RpcPacket& pkt) {
     return;
   }
   if (it->second.timer != kInvalidEvent) sim_.cancel(it->second.timer);
-  const SimTime now = sim_.now();
-  const SimTime latency = now - it->second.start;
+  const TimePoint now = sim_.now_point();
+  const Duration latency = now - it->second.start;
   if (it->second.traced) {
     // The response's final net-hop span was recorded at delivery (before
     // this receiver ran), so the trace is complete when we seal it here.
@@ -141,9 +141,9 @@ void LoadGenerator::on_response(const RpcPacket& pkt) {
   }
   outstanding_.erase(it);
   ++completed_total_;
-  vv_.record_completion(now, latency);
-  if (now >= measure_start() && now < measure_end()) {
-    histogram_.record(latency);
+  vv_.record_completion(now.ns(), latency.ns());
+  if (now.ns() >= measure_start() && now.ns() < measure_end()) {
+    histogram_.record(latency.ns());
     ++completed_in_window_;
   }
 }

@@ -103,7 +103,7 @@ class LoadGenerator {
 
  private:
   struct Outstanding {
-    SimTime start = 0;             // original issue time (latency anchor)
+    TimePoint start;               // original issue time (latency anchor)
     int attempt = 0;               // 0 = initial send
     EventId timer = kInvalidEvent; // armed only when retry is enabled
     bool traced = false;           // spans being recorded for this request
@@ -111,7 +111,7 @@ class LoadGenerator {
 
   void schedule_next_arrival();
   void issue_request();
-  void send_request(RequestId id, SimTime start_time, bool traced);
+  void send_request(RequestId id, TimePoint start_time, bool traced);
   void on_request_timeout(RequestId id);
   void on_response(const RpcPacket& pkt);
 

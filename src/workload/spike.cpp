@@ -1,6 +1,7 @@
 #include "workload/spike.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace sg {
 
@@ -18,7 +19,7 @@ double SpikePattern::rate_at(SimTime t) const {
 SimTime SpikePattern::next_rate_change(SimTime t) const {
   if (!has_spikes()) return kTimeInfinity;
   if (t < first_spike_at) return first_spike_at;
-  const SimTime k = (t - first_spike_at) / spike_period;
+  const std::int64_t k = (t - first_spike_at) / spike_period;
   const SimTime within = (t - first_spike_at) % spike_period;
   if (within < spike_len) {
     return first_spike_at + k * spike_period + spike_len;
@@ -35,9 +36,9 @@ std::vector<SpikePattern::Window> SpikePattern::spikes_in(SimTime t0,
   std::vector<Window> out;
   if (!has_spikes() || t1 <= t0) return out;
   // First spike index whose window could intersect [t0, t1].
-  SimTime k0 = 0;
+  std::int64_t k0 = 0;
   if (t0 > first_spike_at) k0 = (t0 - first_spike_at) / spike_period;
-  for (SimTime k = std::max<SimTime>(0, k0 - 1);; ++k) {
+  for (std::int64_t k = std::max<std::int64_t>(0, k0 - 1);; ++k) {
     const SimTime start = first_spike_at + k * spike_period;
     if (start >= t1) break;
     const SimTime end = start + spike_len;

@@ -29,13 +29,13 @@ struct MiniTestbed {
     SimTime latency = 0;
     network.register_client_receiver([&](const RpcPacket& p) {
       done = true;
-      latency = sim.now() - p.start_time;
+      latency = (sim.now_point() - p.start_time).ns();
     });
     RpcPacket pkt;
     pkt.request_id = 1;
     pkt.dst_container = app->entry_container();
     pkt.dst_node = app->entry_node();
-    pkt.start_time = sim.now();
+    pkt.start_time = sim.now_point();
     network.send(kClientNode, pkt);
     sim.run_to_completion();
     return {done, latency};
@@ -219,7 +219,7 @@ TEST(ApplicationTest, MetricPublicationFlushesToBus) {
     pkt.request_id = static_cast<RequestId>(i + 1);
     pkt.dst_container = tb.app->entry_container();
     pkt.dst_node = tb.app->entry_node();
-    pkt.start_time = tb.sim.now();
+    pkt.start_time = tb.sim.now_point();
     tb.network.send(kClientNode, pkt);
     tb.sim.run_until(tb.sim.now() + 60 * kMillisecond);
   }

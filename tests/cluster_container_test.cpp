@@ -23,7 +23,7 @@ std::unique_ptr<Container> make_container(Simulator& sim, int cores,
 TEST(ContainerTest, SingleJobTakesItsWork) {
   Simulator sim;
   auto c = make_container(sim, 1);
-  SimTime done = -1;
+  SimTime done = kTimeInfinity;  // sentinel: callback never ran
   c->submit(1000.0, [&]() { done = sim.now(); });
   sim.run_to_completion();
   EXPECT_EQ(done, 1000);
@@ -89,7 +89,7 @@ TEST(ContainerTest, FrequencyScalesThroughput) {
   dvfs.max_mhz = 3200;
   auto c = make_container(sim, 1, dvfs);
   c->set_frequency(3200);
-  SimTime done = -1;
+  SimTime done = kTimeInfinity;  // sentinel: callback never ran
   c->submit(1000.0, [&]() { done = sim.now(); });
   sim.run_to_completion();
   EXPECT_NEAR(static_cast<double>(done), 500.0, 2.0);
@@ -101,7 +101,7 @@ TEST(ContainerTest, FrequencyChangeMidJob) {
   dvfs.scaling_efficiency = 1.0;
   dvfs.max_mhz = 3200;
   auto c = make_container(sim, 1, dvfs);
-  SimTime done = -1;
+  SimTime done = kTimeInfinity;  // sentinel: callback never ran
   c->submit(1000.0, [&]() { done = sim.now(); });
   // After 500ns (500 work done), double the speed: remaining 500 work takes
   // 250ns -> completes at 750.
@@ -128,7 +128,7 @@ TEST(ContainerTest, CoreChangeMidJobRescales) {
 TEST(ContainerTest, ZeroCoresStallsJobs) {
   Simulator sim;
   auto c = make_container(sim, 1);
-  SimTime done = -1;
+  SimTime done = kTimeInfinity;  // sentinel: callback never ran
   c->submit(1000.0, [&]() { done = sim.now(); });
   sim.schedule_at(200, [&]() { c->set_cores(0); });
   sim.schedule_at(5000, [&]() { c->set_cores(1); });
@@ -140,7 +140,7 @@ TEST(ContainerTest, ZeroCoresStallsJobs) {
 TEST(ContainerTest, ZeroWorkJobCompletesImmediately) {
   Simulator sim;
   auto c = make_container(sim, 1);
-  SimTime done = -1;
+  SimTime done = kTimeInfinity;  // sentinel: callback never ran
   c->submit(0.0, [&]() { done = sim.now(); });
   sim.run_to_completion();
   EXPECT_EQ(done, 0);

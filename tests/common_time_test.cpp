@@ -28,6 +28,17 @@ TEST(TimeTest, FromSecondsRounds) {
   EXPECT_EQ(from_seconds(0.0000000015), 2);
 }
 
+TEST(TimeTest, FromSecondsRoundsNegativeHalfAwayFromZero) {
+  // Symmetric rounding: -1.5 ns -> -2 ns, mirroring +1.5 ns -> +2 ns.
+  // (The old `+ 0.5` form truncated toward +inf for negative slacks.)
+  EXPECT_EQ(from_seconds(-0.0000000015), -2);
+  EXPECT_EQ(from_seconds(-0.0000000014), -1);
+  EXPECT_EQ(from_seconds(-0.0000000016), -2);
+  EXPECT_EQ(from_seconds(-1.5), -1'500'000'000);
+  EXPECT_EQ(from_seconds(-to_seconds(123'456'789)), -123'456'789);
+  EXPECT_EQ(from_seconds(0.0), 0);
+}
+
 TEST(TimeTest, FormatPicksUnits) {
   EXPECT_EQ(format_time(500), "500ns");
   EXPECT_EQ(format_time(1'500), "1.50us");
@@ -43,6 +54,92 @@ TEST(TimeTest, FormatNegative) {
 TEST(TimeTest, InfinityIsMax) {
   EXPECT_EQ(kTimeInfinity, INT64_MAX);
   EXPECT_GT(kTimeInfinity, 1000000 * kSecond);
+}
+
+// --- quantity layer (DESIGN.md §9) ---
+
+TEST(QuantityTest, DurationFactoriesAndAccessors) {
+  EXPECT_EQ(Duration::ns(7).ns(), 7);
+  EXPECT_EQ(Duration::us(3).ns(), 3'000);
+  EXPECT_EQ(Duration::ms(5).ns(), 5'000'000);
+  EXPECT_EQ(Duration::sec(2).ns(), 2'000'000'000);
+  EXPECT_EQ(Duration::seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(Duration::seconds(-1.5).ns(), -1'500'000'000);
+  EXPECT_DOUBLE_EQ(Duration::sec(2).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(Duration::ms(2).millis(), 2.0);
+  EXPECT_DOUBLE_EQ(Duration::us(2).micros(), 2.0);
+  EXPECT_EQ(Duration::zero().ns(), 0);
+  EXPECT_EQ(Duration::infinity().ns(), kTimeInfinity);
+}
+
+TEST(QuantityTest, DurationAlgebra) {
+  const Duration a = Duration::ms(3);
+  const Duration b = Duration::ms(1);
+  EXPECT_EQ((a + b).ns(), 4'000'000);
+  EXPECT_EQ((a - b).ns(), 2'000'000);
+  EXPECT_EQ((-b).ns(), -1'000'000);
+  EXPECT_EQ((a * 2.0).ns(), 6'000'000);
+  EXPECT_EQ((2.0 * a).ns(), 6'000'000);
+  EXPECT_EQ((a * SimTime{2}).ns(), 6'000'000);
+  EXPECT_EQ((a / 2.0).ns(), 1'500'000);
+  EXPECT_DOUBLE_EQ(a / b, 3.0);
+  EXPECT_LT(b, a);
+  Duration acc = a;
+  acc += b;
+  acc -= Duration::ms(2);
+  EXPECT_EQ(acc, Duration::ms(2));
+}
+
+TEST(QuantityTest, TimePointAlgebra) {
+  const TimePoint t0 = TimePoint::at(10 * kMillisecond);
+  const TimePoint t1 = t0 + Duration::ms(5);
+  EXPECT_EQ(t1.ns(), 15 * kMillisecond);
+  EXPECT_EQ((t1 - t0), Duration::ms(5));
+  EXPECT_EQ((t1 - Duration::ms(15)), TimePoint::origin());
+  EXPECT_EQ((Duration::ms(5) + t0), t1);
+  EXPECT_EQ(t0.since_origin(), Duration::ms(10));
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(TimePoint::infinity().ns(), kTimeInfinity);
+  TimePoint cursor = t0;
+  cursor += Duration::ms(1);
+  cursor -= Duration::ms(11);
+  EXPECT_EQ(cursor, TimePoint::origin());
+}
+
+TEST(QuantityTest, FreqAlgebra) {
+  const Freq f = Freq::mhz(1600);
+  EXPECT_DOUBLE_EQ(f.hz(), 1.6e9);
+  EXPECT_DOUBLE_EQ(f.mhz(), 1600.0);
+  EXPECT_DOUBLE_EQ(f.ghz(), 1.6);
+  EXPECT_DOUBLE_EQ(Freq::mhz(3100) / f, 3100.0 / 1600.0);
+  EXPECT_DOUBLE_EQ((f + Freq::mhz(100)).mhz(), 1700.0);
+  EXPECT_DOUBLE_EQ((f - Freq::mhz(100)).mhz(), 1500.0);
+  EXPECT_DOUBLE_EQ((f * 2.0).mhz(), 3200.0);
+  EXPECT_DOUBLE_EQ((f / 2.0).mhz(), 800.0);
+  // freq x time -> cycles (1.6 GHz for 1 ms = 1.6e6 cycles); commutes.
+  EXPECT_DOUBLE_EQ(f * Duration::ms(1), 1.6e6);
+  EXPECT_DOUBLE_EQ(Duration::ms(1) * f, 1.6e6);
+}
+
+TEST(QuantityTest, EnergyAlgebra) {
+  const Energy e = Energy::joules(6.0);
+  EXPECT_DOUBLE_EQ(e.joules(), 6.0);
+  EXPECT_DOUBLE_EQ((e + Energy::joules(2.0)).joules(), 8.0);
+  EXPECT_DOUBLE_EQ((e - Energy::joules(2.0)).joules(), 4.0);
+  EXPECT_DOUBLE_EQ((e * 2.0).joules(), 12.0);
+  EXPECT_DOUBLE_EQ((e / 2.0).joules(), 3.0);
+  EXPECT_DOUBLE_EQ(e / Energy::joules(3.0), 2.0);
+  // energy / time -> watts.
+  EXPECT_DOUBLE_EQ(e / Duration::sec(2), 3.0);
+  Energy acc = Energy::zero();
+  acc += e;
+  acc -= Energy::joules(1.0);
+  EXPECT_EQ(acc, Energy::joules(5.0));
+}
+
+TEST(QuantityTest, FormatTimeOverloads) {
+  EXPECT_EQ(format_time(Duration::us(2) - Duration::ns(500)), "1.50us");
+  EXPECT_EQ(format_time(TimePoint::at(2'500'000)), "2.50ms");
 }
 
 }  // namespace

@@ -60,10 +60,10 @@ struct ControllerTestbed {
     e.topology = app->topology();
     ContainerTargets t;
     t.expected_exec_metric_ns = expected_exec_us * 1000.0;
-    t.expected_time_from_start = 200 * kMicrosecond;
+    t.expected_time_from_start = Duration::us(200);
     e.targets.per_container[c1().id()] = t;
     e.targets.per_container[c2().id()] = t;
-    e.targets.expected_e2e_latency = 500 * kMicrosecond;
+    e.targets.expected_e2e_latency = Duration::us(500);
     return e;
   }
 

@@ -16,7 +16,7 @@ FirstResponder::Options no_margin() {
   return o;
 }
 
-RpcPacket request_to(ControllerTestbed& tb, Container& c, SimTime start) {
+RpcPacket request_to(ControllerTestbed& tb, Container& c, TimePoint start) {
   RpcPacket p;
   p.request_id = 1;
   p.dst_container = c.id();
@@ -32,7 +32,7 @@ TEST(FirstResponderTest, PositiveSlackNoBoost) {
   fr.start();
   tb.sim.run_until(100 * kMicrosecond);
   // expected tfs = 200us; observed 100us -> slack +100us.
-  fr.on_packet(request_to(tb, tb.c1(), 0));
+  fr.on_packet(request_to(tb, tb.c1(), TimePoint::origin()));
   tb.sim.run_to_completion();
   EXPECT_EQ(fr.violations_detected(), 0u);
   EXPECT_EQ(fr.boosts_applied(), 0u);
@@ -44,7 +44,7 @@ TEST(FirstResponderTest, NegativeSlackBoostsToMax) {
   FirstResponder fr(tb.env(), tb.network, no_margin());
   fr.start();
   tb.sim.run_until(300 * kMicrosecond);  // observed 300us > expected 200us
-  fr.on_packet(request_to(tb, tb.c1(), 0));
+  fr.on_packet(request_to(tb, tb.c1(), TimePoint::origin()));
   tb.sim.run_to_completion();
   EXPECT_EQ(fr.violations_detected(), 1u);
   EXPECT_EQ(tb.c1().frequency(), tb.c1().dvfs().max_mhz);
@@ -55,7 +55,7 @@ TEST(FirstResponderTest, BoostsSameNodeDownstreamToo) {
   FirstResponder fr(tb.env(), tb.network, no_margin());
   fr.start();
   tb.sim.run_until(300 * kMicrosecond);
-  fr.on_packet(request_to(tb, tb.c1(), 0));
+  fr.on_packet(request_to(tb, tb.c1(), TimePoint::origin()));
   tb.sim.run_to_completion();
   // c2 is downstream of c1 on the same node.
   EXPECT_EQ(tb.c2().frequency(), tb.c2().dvfs().max_mhz);
@@ -70,7 +70,7 @@ TEST(FirstResponderTest, UpdateAppliesAfterWorkerLatency) {
   FirstResponder fr(tb.env(), tb.network, opts);
   fr.start();
   tb.sim.run_until(300 * kMicrosecond);
-  fr.on_packet(request_to(tb, tb.c1(), 0));
+  fr.on_packet(request_to(tb, tb.c1(), TimePoint::origin()));
   EXPECT_EQ(tb.c1().frequency(), tb.c1().dvfs().min_mhz);  // not yet
   tb.sim.run_until(tb.sim.now() + 3000);
   EXPECT_EQ(tb.c1().frequency(), tb.c1().dvfs().max_mhz);  // after 2.54us
@@ -81,16 +81,16 @@ TEST(FirstResponderTest, FreezeWindowLimitsUpdates) {
   FirstResponder fr(tb.env(), tb.network, no_margin());  // freeze 1ms
   fr.start();
   tb.sim.run_until(300 * kMicrosecond);
-  fr.on_packet(request_to(tb, tb.c1(), 0));
-  fr.on_packet(request_to(tb, tb.c1(), 0));
-  fr.on_packet(request_to(tb, tb.c1(), 0));
+  fr.on_packet(request_to(tb, tb.c1(), TimePoint::origin()));
+  fr.on_packet(request_to(tb, tb.c1(), TimePoint::origin()));
+  fr.on_packet(request_to(tb, tb.c1(), TimePoint::origin()));
   tb.sim.run_to_completion();
   EXPECT_EQ(fr.violations_detected(), 3u);  // detected every time
   EXPECT_EQ(fr.boosts_applied(), 2u);       // but boosted once (c1+c2)
   // After the freeze expires, a new violation boosts again.
   tb.c1().set_frequency(1600);
   tb.sim.run_until(tb.sim.now() + 2 * kMillisecond);
-  fr.on_packet(request_to(tb, tb.c1(), 0));
+  fr.on_packet(request_to(tb, tb.c1(), TimePoint::origin()));
   tb.sim.run_to_completion();
   EXPECT_EQ(tb.c1().frequency(), tb.c1().dvfs().max_mhz);
 }
@@ -100,7 +100,7 @@ TEST(FirstResponderTest, ResponsesIgnored) {
   FirstResponder fr(tb.env(), tb.network, no_margin());
   fr.start();
   tb.sim.run_until(10 * kMillisecond);  // hugely "late"
-  RpcPacket p = request_to(tb, tb.c1(), 0);
+  RpcPacket p = request_to(tb, tb.c1(), TimePoint::origin());
   p.is_response = true;
   fr.on_packet(p);
   tb.sim.run_to_completion();
@@ -114,7 +114,7 @@ TEST(FirstResponderTest, ClientPacketsIgnored) {
   tb.sim.run_until(10 * kMillisecond);
   RpcPacket p;
   p.dst_container = kClientEndpoint;
-  p.start_time = 0;
+  p.start_time = TimePoint::origin();
   fr.on_packet(p);
   EXPECT_EQ(fr.violations_detected(), 0u);
 }
@@ -126,7 +126,7 @@ TEST(FirstResponderTest, UnknownTargetsIgnored) {
   FirstResponder fr(std::move(env), tb.network, no_margin());
   fr.start();
   tb.sim.run_until(10 * kMillisecond);
-  fr.on_packet(request_to(tb, tb.c2(), 0));
+  fr.on_packet(request_to(tb, tb.c2(), TimePoint::origin()));
   EXPECT_EQ(fr.violations_detected(), 0u);
 }
 
@@ -137,10 +137,10 @@ TEST(FirstResponderTest, SlackMarginScalesThreshold) {
   FirstResponder fr(tb.env(), tb.network, opts);
   fr.start();
   tb.sim.run_until(300 * kMicrosecond);
-  fr.on_packet(request_to(tb, tb.c1(), 0));  // 300us < 400us -> fine
+  fr.on_packet(request_to(tb, tb.c1(), TimePoint::origin()));  // 300us < 400us -> fine
   EXPECT_EQ(fr.violations_detected(), 0u);
   tb.sim.run_until(500 * kMicrosecond);
-  fr.on_packet(request_to(tb, tb.c1(), 0));  // 500us > 400us -> violation
+  fr.on_packet(request_to(tb, tb.c1(), TimePoint::origin()));  // 500us > 400us -> violation
   EXPECT_EQ(fr.violations_detected(), 1u);
 }
 
@@ -151,7 +151,7 @@ TEST(FirstResponderTest, FreezeWindowDerivedFromE2eLatency) {
   opts.freeze_multiple = 2.0;  // 2x of the 500us profiled e2e
   FirstResponder fr(tb.env(), tb.network, opts);
   fr.start();
-  EXPECT_EQ(fr.effective_freeze_window(), 1 * kMillisecond);
+  EXPECT_EQ(fr.effective_freeze_window(), Duration::ms(1));
 }
 
 TEST(FirstResponderTest, HookedViaNetworkDelivery) {
@@ -162,7 +162,7 @@ TEST(FirstResponderTest, HookedViaNetworkDelivery) {
   fr.start();
   tb.network.register_client_receiver([](const RpcPacket&) {});
   tb.sim.run_until(1 * kMillisecond);
-  RpcPacket p = request_to(tb, tb.c1(), 0);  // started 1ms ago
+  RpcPacket p = request_to(tb, tb.c1(), TimePoint::origin());  // started 1ms ago
   tb.network.send(kClientNode, p);
   tb.sim.run_to_completion();
   EXPECT_GE(fr.violations_detected(), 1u);

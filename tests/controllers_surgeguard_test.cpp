@@ -42,7 +42,7 @@ TEST(SurgeGuardTest, FastPathBoostsWithinMicroseconds) {
   p.request_id = 1;
   p.dst_container = tb.c1().id();
   p.dst_node = 0;
-  p.start_time = 0;  // 1ms late vs 200us expectation
+  p.start_time = TimePoint::origin();  // 1ms late vs 200us expectation
   tb.network.send(kClientNode, p);
   // Well before the first Escalator tick (100ms), frequency is boosted.
   tb.sim.run_until(tb.sim.now() + 100 * kMicrosecond);

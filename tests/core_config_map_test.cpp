@@ -108,7 +108,7 @@ TEST(ConfigMapTest, TargetOverrides) {
   const WorkloadInfo w = make_chain();
   TargetMap targets;
   for (int i = 0; i < 5; ++i) {
-    targets.per_container[i] = ContainerTargets{1000.0, 1000};
+    targets.per_container[i] = ContainerTargets{1000.0, Duration::ns(1000)};
   }
   const Config cfg = parse(R"(
 [service.chain-2]
@@ -118,7 +118,7 @@ expected_time_from_start_us = 425
   const int overridden = apply_target_overrides(cfg, w, &targets);
   EXPECT_EQ(overridden, 1);
   EXPECT_DOUBLE_EQ(targets.of(2).expected_exec_metric_ns, 750'000.0);
-  EXPECT_EQ(targets.of(2).expected_time_from_start, 425'000);
+  EXPECT_EQ(targets.of(2).expected_time_from_start, Duration::ns(425'000));
   // Others untouched.
   EXPECT_DOUBLE_EQ(targets.of(1).expected_exec_metric_ns, 1000.0);
 }
@@ -126,11 +126,11 @@ expected_time_from_start_us = 425
 TEST(ConfigMapTest, PartialTargetOverride) {
   const WorkloadInfo w = make_chain();
   TargetMap targets;
-  targets.per_container[0] = ContainerTargets{1000.0, 2000};
+  targets.per_container[0] = ContainerTargets{1000.0, Duration::ns(2000)};
   const Config cfg = parse("[service.chain-0]\nexpected_exec_metric_us = 9\n");
   apply_target_overrides(cfg, w, &targets);
   EXPECT_DOUBLE_EQ(targets.of(0).expected_exec_metric_ns, 9000.0);
-  EXPECT_EQ(targets.of(0).expected_time_from_start, 2000);  // kept
+  EXPECT_EQ(targets.of(0).expected_time_from_start, Duration::ns(2000));  // kept
 }
 
 TEST(ConfigMapTest, MisspelledKeyIsFlaggedAsUnknown) {

@@ -43,9 +43,9 @@ TEST(ProfileTest, TargetsAreTwiceLowLoadValues) {
 TEST(ProfileTest, DeeperContainersExpectLaterArrival) {
   // expectedTimeFromStart must grow along the chain.
   const ProfileResult p = profile_workload(make_chain(), 1);
-  SimTime prev = -1;
+  Duration prev = Duration::ns(-1);
   for (int i = 0; i < 5; ++i) {
-    const SimTime tfs = p.targets.of(i).expected_time_from_start;
+    const Duration tfs = p.targets.of(i).expected_time_from_start;
     EXPECT_GT(tfs, prev) << "service " << i;
     prev = tfs;
   }

@@ -35,7 +35,7 @@ TEST(EdgeCaseTest, ZeroWorkServiceCompletes) {
   pkt.request_id = 1;
   pkt.dst_container = app.entry_container();
   pkt.dst_node = 0;
-  pkt.start_time = 0;
+  pkt.start_time = TimePoint::origin();
   network.send(kClientNode, pkt);
   sim.run_to_completion();
   EXPECT_TRUE(done);

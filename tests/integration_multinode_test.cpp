@@ -59,10 +59,10 @@ TEST(MultiNodeTest, CrossNodeHintPropagation) {
   TargetMap targets;
   ContainerTargets t;
   t.expected_exec_metric_ns = 300'000.0;
-  t.expected_time_from_start = 200'000;
+  t.expected_time_from_start = Duration::ns(200'000);
   targets.per_container[0] = t;
   targets.per_container[1] = t;
-  targets.expected_e2e_latency = 500'000;
+  targets.expected_e2e_latency = Duration::ns(500'000);
 
   auto env_for = [&](int node) {
     ControllerEnv env;
@@ -100,7 +100,7 @@ TEST(MultiNodeTest, CrossNodeHintPropagation) {
     pkt.request_id = static_cast<RequestId>(i + 1);
     pkt.dst_container = app.entry_container();
     pkt.dst_node = app.entry_node();
-    pkt.start_time = sim.now();
+    pkt.start_time = sim.now_point();
     network.send(kClientNode, pkt);
   }
   sim.run_to_completion();

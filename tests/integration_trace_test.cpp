@@ -41,15 +41,15 @@ TEST(IntegrationTraceTest, SpanSegmentsTileEndToEndLatencyExactly) {
   EXPECT_EQ(tr.stats.traces_evicted, 0u);
 
   for (const RequestTrace& t : tr.traces) {
-    SimTime covered = 0;
+    Duration covered;
     for (const TraceSpan& s : t.spans) {
       if (s.kind == SpanKind::kVisit) continue;  // encloses exec/conn-wait
       covered += s.wall();
     }
     // CHAIN is sequential: exec + conn-wait + net segments are contiguous,
     // so their walls sum to the client-observed latency within 1 ns.
-    EXPECT_NEAR(static_cast<double>(covered), static_cast<double>(t.latency),
-                1.0)
+    EXPECT_NEAR(static_cast<double>(covered.ns()),
+                static_cast<double>(t.latency.ns()), 1.0)
         << "request " << t.id;
     EXPECT_EQ(t.end - t.begin, t.latency) << "request " << t.id;
   }
@@ -65,7 +65,7 @@ TEST(IntegrationTraceTest, ExecSpansDecomposeIntoServedPlusQueue) {
       ++exec_spans;
       // Served core share can never exceed the wall (it is an integral of a
       // quantity <= 1); allow float-integration slop of 1 ns.
-      EXPECT_LE(s.cpu_served_ns, static_cast<double>(s.wall()) + 1.0);
+      EXPECT_LE(s.cpu_served_ns, static_cast<double>(s.wall().ns()) + 1.0);
       EXPECT_GE(s.cpu_served_ns, 0.0);
     }
   }
@@ -124,7 +124,7 @@ TEST(IntegrationTraceTest, SurgeRunYieldsBreakdownDecisionsAndViolators) {
   ASSERT_TRUE(r.trace.has_value());
   const TraceReport& tr = *r.trace;
 
-  EXPECT_GT(tr.slo_ns, 0);
+  EXPECT_GT(tr.slo, Duration::zero());
   EXPECT_GT(tr.stats.requests_kept, 0u);
   EXPECT_GT(tr.stats.slo_violators_kept, 0u);
   EXPECT_GT(tr.stats.decisions_recorded, 0u);

@@ -13,18 +13,18 @@ VisitRecord visit(SimTime arrive, SimTime depart, SimTime conn_wait,
                   bool hint = false) {
   VisitRecord r;
   r.container = 1;
-  r.arrive = arrive;
-  r.depart = depart;
-  r.conn_wait = conn_wait;
-  r.time_from_start = arrive;
+  r.arrive = TimePoint::at(arrive);
+  r.depart = TimePoint::at(depart);
+  r.conn_wait = Duration{conn_wait};
+  r.time_from_start = Duration{arrive};
   r.upscale_hint = hint;
   return r;
 }
 
 TEST(VisitRecordTest, DerivedMetrics) {
   const VisitRecord r = visit(100, 600, 200);
-  EXPECT_EQ(r.exec_time(), 500);
-  EXPECT_EQ(r.exec_metric(), 300);  // eq. 2: execTime - connWait
+  EXPECT_EQ(r.exec_time(), Duration::ns(500));
+  EXPECT_EQ(r.exec_metric(), Duration::ns(300));  // eq. 2: execTime - connWait
 }
 
 TEST(ContainerMetricsTest, WindowAverages) {

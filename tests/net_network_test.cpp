@@ -276,14 +276,14 @@ TEST(NetworkTest, PacketMetadataPreserved) {
   RpcPacket got;
   net.register_receiver(3, [&](const RpcPacket& p) { got = p; });
   RpcPacket sent = make_packet(3, 0);
-  sent.start_time = 12345;
+  sent.start_time = TimePoint::at(12345);
   sent.upscale = 2;
   sent.call_id = 99;
   sent.src_container = 8;
   sent.src_node = 4;
   net.send(4, sent);
   sim.run_to_completion();
-  EXPECT_EQ(got.start_time, 12345);
+  EXPECT_EQ(got.start_time, TimePoint::at(12345));
   EXPECT_EQ(got.upscale, 2);
   EXPECT_EQ(got.call_id, 99u);
   EXPECT_EQ(got.src_container, 8);

@@ -1,0 +1,25 @@
+// --fix fixture: suppressions whose spelling the directive parser silently
+// ignores — `allow (D1)` with a space, and a lowercase rule id. Both lines
+// below therefore report D1 before --fix; normalization makes the intended
+// suppressions effective and the file scans clean.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixable {
+
+std::vector<int> keys(const std::unordered_map<int, std::string>& m) {
+  std::vector<int> out;
+  // sglint: allow (D1) caller sorts the result before any comparison
+  for (const auto& [k, v] : m) out.push_back(k);
+  return out;
+}
+
+std::vector<int> values_size(const std::unordered_map<int, std::string>& m) {
+  std::vector<int> out;
+  // sglint: allow(d1) accumulation is order-independent (count only)
+  for (const auto& [k, v] : m) out.push_back(static_cast<int>(v.size()));
+  return out;
+}
+
+}  // namespace fixable

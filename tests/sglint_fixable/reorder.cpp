@@ -1,0 +1,10 @@
+// --fix fixture: the own header is not the first include (H1). `sglint
+// --fix` must move it to the top of the include block, after which the file
+// scans clean.
+#include <vector>
+
+#include "reorder.hpp"
+
+namespace fixable {
+int answer() { return static_cast<int>(std::vector<int>{42}.front()); }
+}  // namespace fixable

@@ -1,0 +1,6 @@
+// Header half of the H1 --fix fixture.
+#pragma once
+
+namespace fixable {
+int answer();
+}  // namespace fixable

@@ -1,0 +1,58 @@
+// sg-lint fixture: U1 — TimePoint/Duration algebra violations, plus the
+// full allowed-operation set (which must stay silent).
+#include "common/time.hpp"
+
+namespace fixture {
+
+void violations() {
+  sg::TimePoint a = sg::TimePoint::at(1000);
+  sg::TimePoint b = sg::TimePoint::at(2000);
+  sg::Duration d = sg::Duration::ms(1);
+
+  // sglint: expect(U1)
+  auto bad_sum = a + b;
+  // sglint: expect(U1)
+  auto bad_diff = d - a;
+  // sglint: expect(U1)
+  if (a < d) return;
+  // sglint: expect(U1)
+  a = d;
+  // sglint: expect(U1)
+  d = b;
+  // sglint: expect(U1)
+  a += b;
+  // sglint: expect(U1)
+  d -= b;
+  // sglint: expect(U1)
+  sg::Duration from_point = a;
+  // sglint: expect(U1)
+  sg::TimePoint from_dur = d;
+  (void)bad_sum;
+  (void)bad_diff;
+  (void)from_point;
+  (void)from_dur;
+}
+
+void allowed() {
+  sg::TimePoint a = sg::TimePoint::at(1000);
+  sg::TimePoint b = sg::TimePoint::at(2000);
+  sg::Duration d = sg::Duration::ms(1);
+  sg::SimTime raw = 0;
+
+  sg::Duration elapsed = b - a;   // point - point -> duration
+  sg::TimePoint later = a + d;    // point + duration -> point
+  sg::TimePoint also = d + a;     // duration + point -> point
+  sg::TimePoint earlier = a - d;  // point - duration -> point
+  a += d;
+  a -= d;
+  if (a < b) return;              // point vs point is ordered
+  if (d > sg::Duration::zero()) return;
+  raw = a.ns();                   // explicit unwrap bridges to SimTime
+  (void)elapsed;
+  (void)later;
+  (void)also;
+  (void)earlier;
+  (void)raw;
+}
+
+}  // namespace fixture

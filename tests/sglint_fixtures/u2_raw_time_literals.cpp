@@ -1,0 +1,47 @@
+// sg-lint fixture: U2 — raw integer literals flowing into time-typed
+// variables and parameters. Zero is always permitted (a natural origin /
+// empty duration), as are unit literals and named constants.
+#include "common/time.hpp"
+
+namespace fixture {
+
+void wait_for(sg::SimTime timeout);
+
+void wait_for(sg::SimTime timeout) { (void)timeout; }
+
+void violations() {
+  // sglint: expect(U2)
+  sg::SimTime deadline = 5000;
+  sg::SimTime t = 0;
+  // sglint: expect(U2)
+  t = 250;
+  // sglint: expect(U2)
+  if (t < 1000) return;
+  // sglint: expect(U2)
+  if (5000 > deadline) return;
+  // sglint: expect(U2)
+  t += 77;
+  // sglint: expect(U2)
+  wait_for(1500);
+  sg::Duration d = sg::Duration::zero();
+  // sglint: expect(U2)
+  if (d == 40) return;
+  (void)deadline;
+}
+
+void allowed() {
+  using namespace sg::literals;
+  sg::SimTime t = 0;             // zero is the origin, always fine
+  t = 5_ms;                      // unit literal
+  t = 3 * sg::kMillisecond;      // named constant scaling
+  if (t == 0) return;
+  if (t < 2_s) return;
+  wait_for(0);
+  wait_for(5_us);
+  wait_for(sg::kSecond);
+  int plain = 42;                // untyped ints are none of U2's business
+  plain = 7;
+  (void)plain;
+}
+
+}  // namespace fixture

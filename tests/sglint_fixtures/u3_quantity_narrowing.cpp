@@ -1,0 +1,45 @@
+// sg-lint fixture: U3 — time/energy quantities implicitly squeezed into
+// narrow arithmetic types. Explicit unwraps (static_cast, .ns()) and wide
+// targets (int64_t, double) are fine.
+#include "common/time.hpp"
+
+namespace fixture {
+
+void violations() {
+  sg::SimTime t = 0;
+  sg::Duration d = sg::Duration::ms(3);
+  sg::TimePoint p = sg::TimePoint::origin();
+  sg::Energy e = sg::Energy::joules(2.0);
+
+  // sglint: expect(U3)
+  int ti = t;
+  // sglint: expect(U3)
+  float df = d;
+  // sglint: expect(U3)
+  unsigned pu = p;
+  // sglint: expect(U3)
+  int32_t ej = e;
+  (void)ti;
+  (void)df;
+  (void)pu;
+  (void)ej;
+}
+
+void allowed() {
+  sg::SimTime t = 0;
+  sg::Duration d = sg::Duration::ms(3);
+  sg::Energy e = sg::Energy::joules(2.0);
+
+  int64_t wide = t;                  // int64 holds the full range
+  double secs = sg::to_seconds(t);   // conversion helpers return scalars
+  int explicit_ns = static_cast<int>(t);  // explicit = intentional
+  int64_t unwrapped = d.ns();        // accessor is the sanctioned unwrap
+  double watts = e.joules();
+  (void)wide;
+  (void)secs;
+  (void)explicit_ns;
+  (void)unwrapped;
+  (void)watts;
+}
+
+}  // namespace fixture

@@ -1,0 +1,62 @@
+// sg-lint fixture: U4 — arithmetic between dimensions outside the allowed
+// table. Legal: quantity x scalar, freq x time (-> cycles), time / time,
+// energy / time (-> watts), energy / energy, freq / freq.
+#include "common/time.hpp"
+
+namespace fixture {
+
+void violations() {
+  sg::SimTime t = 0;
+  sg::Duration d = sg::Duration::ms(1);
+  sg::Freq f = sg::Freq::ghz(1.5);
+  sg::Energy e = sg::Energy::joules(4.0);
+
+  // sglint: expect(U4)
+  auto tt = t * t;
+  // sglint: expect(U4)
+  auto dd = d * d;
+  // sglint: expect(U4)
+  auto ff = f * f;
+  // sglint: expect(U4)
+  auto ed = e * d;
+  // sglint: expect(U4)
+  auto fe = f / e;
+  // sglint: expect(U4)
+  auto df = d / f;
+  // sglint: expect(U4)
+  t *= t;
+  (void)tt;
+  (void)dd;
+  (void)ff;
+  (void)ed;
+  (void)fe;
+  (void)df;
+}
+
+void allowed() {
+  sg::SimTime t = sg::kMillisecond;
+  sg::Duration d = sg::Duration::ms(1);
+  sg::Freq f = sg::Freq::ghz(1.5);
+  sg::Energy e = sg::Energy::joules(4.0);
+
+  auto scaled = d * 2.0;    // quantity x scalar preserves the dimension
+  auto halved = d / 2.0;
+  auto cycles = f * d;      // freq x time -> cycles (dimensionless)
+  auto cycles2 = d * f;     // ... commutes
+  auto ratio = d / d;       // time / time -> scalar
+  auto tratio = t / sg::kMillisecond;
+  auto watts = e / d;       // energy / time -> power
+  auto eratio = e / e;
+  auto fratio = f / f;
+  (void)scaled;
+  (void)halved;
+  (void)cycles;
+  (void)cycles2;
+  (void)ratio;
+  (void)tratio;
+  (void)watts;
+  (void)eratio;
+  (void)fratio;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// sg-lint fixture: .cpp half of the cross-file unit case — members declared
+// in u_cross_file_units.hpp carry their kinds into this TU.
+#include "u_cross_file_units.hpp"
+
+namespace fixture {
+
+void Tracker::record(sg::TimePoint stamp, sg::Duration cost) {
+  // sglint: expect(U1)
+  total_ += stamp;
+  // sglint: expect(U1)
+  last_ = cost;
+  total_ += cost;   // duration accumulates duration: fine
+  last_ = stamp;    // point assigned from point: fine
+  sg::Duration gap = stamp - last_;  // allowed algebra through members
+  (void)gap;
+}
+
+}  // namespace fixture

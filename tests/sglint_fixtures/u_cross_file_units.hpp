@@ -1,0 +1,21 @@
+// sg-lint fixture: header half of the cross-file unit case. The time-typed
+// members and the signature of record() are declared here; the misuse lives
+// in the .cpp — proving the unit analyzer sees across the paired-header
+// boundary exactly like D1/D3 do.
+#pragma once
+
+#include "common/time.hpp"
+
+namespace fixture {
+
+class Tracker {
+ public:
+  void record(sg::TimePoint stamp, sg::Duration cost);
+  sg::Duration total() const { return total_; }
+
+ private:
+  sg::TimePoint last_;
+  sg::Duration total_;
+};
+
+}  // namespace fixture

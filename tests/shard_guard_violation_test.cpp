@@ -1,0 +1,46 @@
+// Deliberate shard-confinement violation for SG_DEBUG_SHARD_GUARD.
+//
+// A callback executing inside shard 0's parallel window opens a ShardScope
+// on shard 1 and schedules into it directly — bypassing the lookahead-checked
+// cross-shard mailbox. With the guard compiled in this must abort (the ctest
+// registration is WILL_FAIL); if the process instead exits cleanly, the
+// guard is broken and the inverted test fails the build.
+//
+// Not a gtest binary on purpose: the expected outcome is a process abort,
+// and a bare main keeps the exit-status contract obvious. The SIGABRT
+// handler converts the guard's abort() into exit code 1, because CTest's
+// WILL_FAIL only inverts nonzero exit codes — a signal death is a hard
+// failure even for a WILL_FAIL test.
+#include <csignal>
+#include <cstdlib>
+
+#include "common/shard_context.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+extern "C" void on_abort(int) { std::_Exit(1); }
+}  // namespace
+
+int main() {
+  std::signal(SIGABRT, on_abort);
+  sg::Simulator sim;
+  sim.configure_shards(2, {0, 1}, /*lookahead=*/1000);
+
+  bool violation_survived = false;
+  {
+    sg::ShardScope scope(0);
+    sim.schedule_at(sg::SimTime{10}, [&] {
+      // Mid-window, bound to shard 0: this write into shard 1's queue is
+      // exactly what the guard exists to catch.
+      sg::ShardScope foreign(1);
+      sim.schedule_after(sg::SimTime{5000}, [] {});
+      violation_survived = true;
+    });
+  }
+  sim.run_until(sg::SimTime{1'000'000});
+
+  // Reaching here at all means the guard did not fire. Exit 0 so the
+  // WILL_FAIL inversion reports the failure.
+  (void)violation_survived;
+  return 0;
+}

@@ -109,7 +109,7 @@ TEST(EventQueueTest, ManyEventsStressOrder) {
   for (int i = 0; i < 1000; ++i) {
     q.push((i * 7919) % 1000, []() {});
   }
-  SimTime prev = -1;
+  SimTime prev = 0;  // event times are non-negative
   while (!q.empty()) {
     auto fired = q.pop();
     EXPECT_GE(fired.time, prev);

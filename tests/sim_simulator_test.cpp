@@ -15,7 +15,7 @@ TEST(SimulatorTest, ClockStartsAtZero) {
 
 TEST(SimulatorTest, ScheduleAfterAdvancesClock) {
   Simulator sim;
-  SimTime seen = -1;
+  SimTime seen = kTimeInfinity;  // sentinel: callback never ran
   sim.schedule_after(100, [&]() { seen = sim.now(); });
   sim.run_to_completion();
   EXPECT_EQ(seen, 100);
@@ -35,7 +35,7 @@ TEST(SimulatorTest, PastTimesClampToNow) {
   Simulator sim;
   sim.schedule_at(100, []() {});
   sim.run_to_completion();
-  SimTime seen = -1;
+  SimTime seen = kTimeInfinity;  // sentinel: callback never ran
   sim.schedule_at(10, [&]() { seen = sim.now(); });  // in the past
   sim.run_to_completion();
   EXPECT_EQ(seen, 100);

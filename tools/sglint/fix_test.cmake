@@ -1,0 +1,42 @@
+# End-to-end contract of `sglint --fix`:
+#   1. the fixable corpus has findings before fixing,
+#   2. --fix --dry-run prints a diff but modifies nothing,
+#   3. --fix makes the corpus scan clean.
+#
+#   cmake -DSGLINT=<binary> -DSRC_DIR=<fixable corpus> -DWORK_DIR=<scratch>
+#         -P fix_test.cmake
+file(REMOVE_RECURSE ${WORK_DIR})
+file(COPY ${SRC_DIR}/ DESTINATION ${WORK_DIR})
+
+execute_process(COMMAND ${SGLINT} ${WORK_DIR} RESULT_VARIABLE rc_before)
+if(rc_before EQUAL 0)
+  message(FATAL_ERROR "fixable corpus scanned clean before --fix — the "
+                      "fixtures no longer exercise the fixer")
+endif()
+
+execute_process(COMMAND ${SGLINT} --fix --dry-run ${WORK_DIR}
+                OUTPUT_VARIABLE dry_out RESULT_VARIABLE rc_dry)
+if(NOT rc_dry EQUAL 0)
+  message(FATAL_ERROR "sglint --fix --dry-run failed (exit ${rc_dry})")
+endif()
+if(NOT dry_out MATCHES "would fix")
+  message(FATAL_ERROR "--dry-run did not report pending fixes:\n${dry_out}")
+endif()
+
+execute_process(COMMAND ${SGLINT} ${WORK_DIR} RESULT_VARIABLE rc_still)
+if(rc_still EQUAL 0)
+  message(FATAL_ERROR "--dry-run modified the tree (scan is clean without "
+                      "--fix having run)")
+endif()
+
+execute_process(COMMAND ${SGLINT} --fix ${WORK_DIR}
+                OUTPUT_VARIABLE fix_out RESULT_VARIABLE rc_fix)
+if(NOT rc_fix EQUAL 0)
+  message(FATAL_ERROR "sglint --fix failed (exit ${rc_fix}):\n${fix_out}")
+endif()
+
+execute_process(COMMAND ${SGLINT} ${WORK_DIR} RESULT_VARIABLE rc_after
+                OUTPUT_VARIABLE after_out)
+if(NOT rc_after EQUAL 0)
+  message(FATAL_ERROR "corpus still has findings after --fix:\n${after_out}")
+endif()

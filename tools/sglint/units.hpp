@@ -1,0 +1,1021 @@
+// sg-lint unit analyzer: flow-aware quantity/kind checking (the U rules).
+//
+// Where rules.hpp pattern-matches the token stream, this pass actually
+// *understands* a useful fragment of C++: it builds a per-TU symbol table
+// (local variables, function parameters, member variables seeded from the
+// paired header, function return types) and evaluates expressions with a
+// precedence parser, propagating a KIND for every sub-expression through a
+// small lattice:
+//
+//     Unknown  — anything the analyzer cannot resolve; absorbs everything
+//                (a deliberate false-positive firewall)
+//     Scalar   — plain arithmetic (int/double/bool/size_t, unwrapped values)
+//     Time     — the SimTime alias: a time quantity whose point-vs-duration
+//                role is not expressed in the type (migration bridge);
+//                participates in U2/U3/U4 but is exempt from U1
+//     Point    — sg::TimePoint (absolute timestamp)
+//     Dur      — sg::Duration (elapsed time)
+//     Freq     — sg::Freq / FreqMhz
+//     Energy   — sg::Energy
+//
+// Rules:
+//   U1  TimePoint/Duration mixing outside the allowed algebra:
+//       point-point -> duration, point+/-duration -> point are legal;
+//       point+point, duration-point, point<op>duration comparisons, and
+//       cross-kind assignment/initialization are findings.
+//   U2  a raw integer literal (other than 0) assigned to, compared with, or
+//       passed as a time-typed variable/parameter. Time values must be
+//       built from unit literals (5_ms), named constants, or explicit
+//       factories (Duration::ms(5)).
+//   U3  implicit narrowing of a time/energy quantity into int/float
+//       (initialization of a narrow arithmetic variable). Explicit escape
+//       hatches — static_cast<..>, .ns(), .seconds() — are fine.
+//   U4  arithmetic between dimensions outside the allowed table:
+//       time x freq -> cycles and energy / time -> power are legal;
+//       time x time, freq x freq, energy x freq, freq / time, ... are not.
+//
+// The allowed-ops table mirrors src/common/time.hpp exactly: what the
+// strong types delete, the analyzer reports — including through aliases
+// (SimTime, FreqMhz) that the compiler erases.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace sglint {
+
+struct UnitFinding {
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+enum class Kind { kUnknown, kScalar, kTime, kPoint, kDur, kFreq, kEnergy };
+
+inline const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kScalar: return "scalar";
+    case Kind::kTime: return "time (SimTime)";
+    case Kind::kPoint: return "TimePoint";
+    case Kind::kDur: return "Duration";
+    case Kind::kFreq: return "frequency";
+    case Kind::kEnergy: return "energy";
+    default: return "unknown";
+  }
+}
+
+/// Evaluated value of a (sub)expression.
+struct Value {
+  Kind kind = Kind::kUnknown;
+  bool lone_int_literal = false;  // a bare integer literal (possibly signed)
+  bool zero = false;              // ... whose value is 0 (always permitted)
+  int line = 0;
+  std::string name;  // variable/spelling for diagnostics
+};
+
+class UnitAnalyzer {
+ public:
+  /// Collects declarations (members, function signatures) without checking
+  /// — used to make the paired header's symbols visible when linting a
+  /// .cpp, mirroring RuleEngine::seed_declarations.
+  void seed_declarations(const LexResult& lex) {
+    seeding_ = true;
+    analyze(lex);
+    seeding_ = false;
+  }
+
+  std::vector<UnitFinding> run(const LexResult& lex) {
+    findings_.clear();
+    analyze(lex);
+    std::sort(findings_.begin(), findings_.end(),
+              [](const UnitFinding& a, const UnitFinding& b) {
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
+    return findings_;
+  }
+
+ private:
+  // ---- kind tables -------------------------------------------------------
+
+  static Kind type_kind(const std::string& t) {
+    static const std::map<std::string, Kind> kTypes = {
+        {"TimePoint", Kind::kPoint}, {"Duration", Kind::kDur},
+        {"SimTime", Kind::kTime},    {"Freq", Kind::kFreq},
+        {"FreqMhz", Kind::kFreq},    {"Energy", Kind::kEnergy},
+        {"int", Kind::kScalar},      {"long", Kind::kScalar},
+        {"short", Kind::kScalar},    {"unsigned", Kind::kScalar},
+        {"double", Kind::kScalar},   {"float", Kind::kScalar},
+        {"bool", Kind::kScalar},     {"char", Kind::kScalar},
+        {"size_t", Kind::kScalar},   {"ptrdiff_t", Kind::kScalar},
+        {"int8_t", Kind::kScalar},   {"uint8_t", Kind::kScalar},
+        {"int16_t", Kind::kScalar},  {"uint16_t", Kind::kScalar},
+        {"int32_t", Kind::kScalar},  {"uint32_t", Kind::kScalar},
+        {"int64_t", Kind::kScalar},  {"uint64_t", Kind::kScalar},
+    };
+    const auto it = kTypes.find(t);
+    return it == kTypes.end() ? Kind::kUnknown : it->second;
+  }
+
+  static bool is_quantity_type(const std::string& t) {
+    const Kind k = type_kind(t);
+    return k != Kind::kUnknown && k != Kind::kScalar;
+  }
+
+  /// Narrow arithmetic types for U3 (int64/double hold a full quantity
+  /// losslessly enough; int/float do not).
+  static bool is_narrow_type(const std::string& t) {
+    static const std::set<std::string> kNarrow = {
+        "int",     "float",    "short",    "char",
+        "unsigned", "int8_t",  "uint8_t",  "int16_t",
+        "uint16_t", "int32_t", "uint32_t",
+    };
+    return kNarrow.count(t) != 0;
+  }
+
+  /// Named constants whose kind is known tree-wide (declared in
+  /// common/time.hpp, used everywhere).
+  static Kind builtin_value(const std::string& name) {
+    static const std::map<std::string, Kind> kValues = {
+        {"kNanosecond", Kind::kTime},  {"kMicrosecond", Kind::kTime},
+        {"kMillisecond", Kind::kTime}, {"kSecond", Kind::kTime},
+        {"kTimeInfinity", Kind::kTime},
+    };
+    const auto it = kValues.find(name);
+    return it == kValues.end() ? Kind::kUnknown : it->second;
+  }
+
+  /// Static factories: "Type::fn" -> result kind.
+  static Kind builtin_static(const std::string& qualified) {
+    static const std::map<std::string, Kind> kStatics = {
+        {"Duration::ns", Kind::kDur},       {"Duration::us", Kind::kDur},
+        {"Duration::ms", Kind::kDur},       {"Duration::sec", Kind::kDur},
+        {"Duration::seconds", Kind::kDur},  {"Duration::zero", Kind::kDur},
+        {"Duration::infinity", Kind::kDur},
+        {"TimePoint::at", Kind::kPoint},    {"TimePoint::origin", Kind::kPoint},
+        {"TimePoint::infinity", Kind::kPoint},
+        {"Freq::hz", Kind::kFreq},          {"Freq::mhz", Kind::kFreq},
+        {"Freq::ghz", Kind::kFreq},
+        {"Energy::joules", Kind::kEnergy},  {"Energy::zero", Kind::kEnergy},
+    };
+    const auto it = kStatics.find(qualified);
+    return it == kStatics.end() ? Kind::kUnknown : it->second;
+  }
+
+  /// Free functions / methods with tree-wide known result kinds. Methods
+  /// (called through . or ->) and free calls share this table; accessors
+  /// like .ns() are the explicit unwrap escape hatch, so they yield Scalar.
+  static bool builtin_call(const std::string& name, Kind* out) {
+    static const std::map<std::string, Kind> kCalls = {
+        {"now", Kind::kTime},          {"now_point", Kind::kPoint},
+        {"since_origin", Kind::kDur},  {"wall", Kind::kDur},
+        {"to_seconds", Kind::kScalar}, {"to_millis", Kind::kScalar},
+        {"to_micros", Kind::kScalar},  {"from_seconds", Kind::kTime},
+        {"ns", Kind::kScalar},         {"seconds", Kind::kScalar},
+        {"millis", Kind::kScalar},     {"micros", Kind::kScalar},
+        {"hz", Kind::kScalar},         {"mhz", Kind::kScalar},
+        {"ghz", Kind::kScalar},        {"joules", Kind::kScalar},
+    };
+    const auto it = kCalls.find(name);
+    if (it == kCalls.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  static bool is_time_kind(Kind k) {
+    return k == Kind::kTime || k == Kind::kPoint || k == Kind::kDur;
+  }
+
+  // ---- symbol table ------------------------------------------------------
+
+  struct Scope {
+    std::map<std::string, Kind> vars;
+  };
+
+  void declare(const std::string& name, Kind k) {
+    if (scopes_.empty()) scopes_.push_back({});
+    // Seeding writes into the global scope (members visible TU-wide).
+    Scope& s = seeding_ ? scopes_.front() : scopes_.back();
+    s.vars[name] = k;
+  }
+
+  Kind lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto v = it->vars.find(name);
+      if (v != it->vars.end()) return v->second;
+    }
+    return builtin_value(name);
+  }
+
+  // ---- driver ------------------------------------------------------------
+
+  void analyze(const LexResult& lex) {
+    toks_ = &lex.tokens;
+    if (!seeding_) {
+      // Keep global scope (header seed) but drop any per-run residue.
+      if (scopes_.empty()) scopes_.push_back({});
+      scopes_.resize(1);
+    } else if (scopes_.empty()) {
+      scopes_.push_back({});
+    }
+    pending_params_.clear();
+    std::size_t i = 0;
+    const std::size_t n = toks_->size();
+    while (i < n) {
+      const std::string& t = (*toks_)[i].text;
+      if (t == "{") {
+        scopes_.push_back({});
+        for (const auto& [pname, pkind] : pending_params_) {
+          scopes_.back().vars[pname] = pkind;
+        }
+        pending_params_.clear();
+        ++i;
+        continue;
+      }
+      if (t == "}") {
+        if (scopes_.size() > 1) scopes_.pop_back();
+        pending_params_.clear();
+        ++i;
+        continue;
+      }
+      if (t == ";") {
+        pending_params_.clear();  // the signature was a declaration
+        ++i;
+        continue;
+      }
+      // One statement fragment: up to the next ; { or } at any depth.
+      std::size_t end = i;
+      while (end < n && (*toks_)[end].text != ";" &&
+             (*toks_)[end].text != "{" && (*toks_)[end].text != "}") {
+        ++end;
+      }
+      pos_ = i;
+      end_ = end;
+      // Strip statement keywords that would otherwise read as primaries.
+      while (pos_ < end_ && is_stmt_keyword((*toks_)[pos_].text)) ++pos_;
+      while (pos_ < end_) {
+        const std::size_t before = pos_;
+        parse_expression(0);
+        if (pos_ == before) ++pos_;  // always make progress
+      }
+      i = end;
+    }
+  }
+
+  static bool is_stmt_keyword(const std::string& t) {
+    static const std::set<std::string> kKw = {
+        "return",   "case",     "goto",    "typedef", "using",
+        "template", "typename", "public",  "private", "protected",
+        "struct",   "class",    "enum",    "namespace",
+        "else",     "do",       "break",   "continue", "default",
+    };
+    return kKw.count(t) != 0;
+  }
+
+  // ---- expression parser -------------------------------------------------
+
+  const Token& tok(std::size_t i) const { return (*toks_)[i]; }
+  bool at_end() const { return pos_ >= end_; }
+  const std::string& cur() const { return tok(pos_).text; }
+  int cur_line() const { return at_end() ? 0 : tok(pos_).line; }
+
+  /// Binary operator precedence; assignment handled separately (lowest).
+  static int bin_prec(const std::string& op) {
+    if (op == "*" || op == "/" || op == "%") return 10;
+    if (op == "+" || op == "-") return 9;
+    if (op == "<<" || op == ">>") return 8;
+    if (op == "<" || op == ">" || op == "<=" || op == ">=") return 7;
+    if (op == "==" || op == "!=") return 6;
+    if (op == "&") return 5;
+    if (op == "^") return 4;
+    if (op == "|") return 3;
+    if (op == "&&") return 2;
+    if (op == "||") return 1;
+    return -1;
+  }
+
+  /// Peeks a (possibly two-token) operator at pos_ without consuming.
+  std::string peek_op() const {
+    if (at_end()) return "";
+    const std::string& a = cur();
+    const std::string b = pos_ + 1 < end_ ? tok(pos_ + 1).text : "";
+    // Two-char operators arrive as single-char tokens from the lexer.
+    if (a == "<" && b == "<") return "<<";
+    if (a == ">" && b == ">") return ">>";
+    if (a == "<" && b == "=") return "<=";
+    if (a == ">" && b == "=") return ">=";
+    if (a == "=" && b == "=") return "==";
+    if (a == "!" && b == "=") return "!=";
+    if (a == "&" && b == "&") return "&&";
+    if (a == "|" && b == "|") return "||";
+    if ((a == "+" || a == "-" || a == "*" || a == "/" || a == "%") && b == "=")
+      return a + "=";
+    return a;
+  }
+
+  void consume_op(const std::string& op) { pos_ += op.size() > 1 ? 2 : 1; }
+
+  Value parse_expression(int min_prec) {
+    Value lhs = parse_unary();
+    for (;;) {
+      if (at_end()) return lhs;
+      const std::string op = peek_op();
+      if (op == "=" || op == "+=" || op == "-=" || op == "*=" || op == "/=" ||
+          op == "%=") {
+        if (min_prec > 0) return lhs;
+        const int line = cur_line();
+        consume_op(op);
+        const Value rhs = parse_expression(0);
+        check_assign(op, lhs, rhs, line);
+        return lhs;
+      }
+      if (op == "?") {
+        ++pos_;
+        const Value a = parse_expression(0);
+        if (!at_end() && cur() == ":") ++pos_;
+        const Value b = parse_expression(0);
+        lhs = Value{a.kind == b.kind ? a.kind : Kind::kUnknown, false, false,
+                    lhs.line, lhs.name};
+        continue;
+      }
+      const int prec = bin_prec(op);
+      if (prec < min_prec || prec < 0) return lhs;
+      if (op == "," || op == ")" || op == "]" || op == ":") return lhs;
+      const int line = cur_line();
+      consume_op(op);
+      const Value rhs = parse_expression(prec + 1);
+      lhs = combine(op, lhs, rhs, line);
+    }
+  }
+
+  Value parse_unary() {
+    bool negated = false;
+    while (!at_end()) {
+      const std::string& t = cur();
+      if (t == "-") {
+        negated = true;
+        ++pos_;
+        continue;
+      }
+      if (t == "+" || t == "!" || t == "~" || t == "*" || t == "&") {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    (void)negated;  // -5 stays a lone literal; kind is unchanged by sign
+    return parse_primary();
+  }
+
+  Value parse_primary() {
+    if (at_end()) return {};
+    const Token& t = tok(pos_);
+    const char c0 = t.text.empty() ? '\0' : t.text[0];
+
+    if (std::isdigit(static_cast<unsigned char>(c0))) {
+      ++pos_;
+      Value v;
+      v.line = t.line;
+      v.name = t.text;
+      const bool is_float =
+          t.text.find('.') != std::string::npos ||
+          (t.text.find('e') != std::string::npos && t.text.rfind("0x", 0) != 0);
+      // Unit suffix: the lexer splits `5_ms` into "5" + "_ms".
+      if (!at_end() && is_time_suffix(cur())) {
+        ++pos_;
+        v.kind = Kind::kTime;
+        return v;
+      }
+      v.kind = Kind::kScalar;
+      if (!is_float) {
+        v.lone_int_literal = true;
+        v.zero = is_zero_literal(t.text);
+      }
+      return v;
+    }
+
+    if (t.text == "(") {
+      ++pos_;
+      Value inner = parse_expression(0);
+      skip_to_close(")");
+      inner.lone_int_literal = false;
+      return inner;
+    }
+    if (t.text == "[") {  // lambda introducer / subscript fragment
+      ++pos_;
+      int depth = 1;
+      while (!at_end() && depth > 0) {
+        if (cur() == "[") ++depth;
+        if (cur() == "]") --depth;
+        ++pos_;
+      }
+      return {};
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c0)) || c0 == '_') {
+      return parse_identifier_chain();
+    }
+
+    ++pos_;  // unknown punctuation: consume and move on
+    return {};
+  }
+
+  static bool is_time_suffix(const std::string& s) {
+    return s == "_ns" || s == "_us" || s == "_ms" || s == "_s";
+  }
+
+  static bool is_zero_literal(const std::string& s) {
+    for (char c : s) {
+      if (c != '0' && c != '\'' && c != 'x' && c != 'X' && c != 'b' &&
+          c != 'B' && c != 'u' && c != 'U' && c != 'l' && c != 'L') {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Consumes a balanced (...) starting AT the opening token, evaluating
+  /// each top-level argument expression (so checks run inside call args).
+  /// Returns the values of the top-level arguments.
+  std::vector<Value> parse_call_args() {
+    std::vector<Value> args;
+    if (at_end() || cur() != "(") return args;
+    ++pos_;  // '('
+    if (!at_end() && cur() == ")") {
+      ++pos_;
+      return args;
+    }
+    for (;;) {
+      args.push_back(parse_expression(0));
+      if (at_end()) return args;
+      if (cur() == "," || cur() == ";") {
+        ++pos_;
+        continue;
+      }
+      if (cur() == ")") {
+        ++pos_;
+        return args;
+      }
+      ++pos_;  // stray token inside args: skip
+    }
+  }
+
+  void skip_to_close(const std::string& /*close*/) {
+    int depth = 1;
+    while (!at_end()) {
+      const std::string& t = cur();
+      if (t == "(" || t == "[") ++depth;
+      if (t == ")" || t == "]") {
+        if (--depth == 0) {
+          ++pos_;
+          return;
+        }
+      }
+      ++pos_;
+    }
+  }
+
+  /// Skips a balanced template argument list `<...>` if one plausibly
+  /// starts at pos_; returns the collected type tokens.
+  bool skip_template_args(std::vector<std::string>* out) {
+    if (at_end() || cur() != "<") return false;
+    std::size_t save = pos_;
+    int depth = 0;
+    while (!at_end()) {
+      const std::string& t = cur();
+      if (t == "<") ++depth;
+      else if (t == ">") {
+        if (--depth == 0) {
+          ++pos_;
+          return true;
+        }
+      } else if (t == ";" || t == "(" || t == "{") {
+        pos_ = save;
+        if (out) out->clear();
+        return false;
+      } else if (out && depth > 0) {
+        out->push_back(t);
+      }
+      ++pos_;
+    }
+    pos_ = save;
+    if (out) out->clear();
+    return false;
+  }
+
+  /// Identifier chains: declarations, casts, factories, variables, calls.
+  Value parse_identifier_chain() {
+    const int line = cur_line();
+    std::string first = cur();
+
+    // explicit casts: static_cast<T>(expr)
+    if (first == "static_cast" || first == "const_cast" ||
+        first == "reinterpret_cast" || first == "dynamic_cast") {
+      ++pos_;
+      std::vector<std::string> targs;
+      skip_template_args(&targs);
+      Value v;
+      v.line = line;
+      v.kind = Kind::kUnknown;
+      for (const std::string& a : targs) {
+        const Kind k = type_kind(a);
+        if (k != Kind::kUnknown) {
+          v.kind = k;
+          break;
+        }
+      }
+      parse_call_args();  // still check inside the cast
+      v.name = "cast";
+      return v;
+    }
+
+    // skip the sg:: qualifier so sg::Duration reads like Duration
+    if (first == "sg" && pos_ + 1 < end_ && tok(pos_ + 1).text == "::") {
+      pos_ += 2;
+      if (at_end()) return {};
+      first = cur();
+    }
+
+    const Kind tk = type_kind(first);
+    if (tk != Kind::kUnknown || first == "auto" || first == "const" ||
+        first == "void") {
+      return parse_declaration_or_construction(line);
+    }
+
+    // plain chain: a::b, a.b, a->b ... possibly ending in a call
+    std::string prev_sep;
+    std::string name = first;
+    std::string qualifier;
+    ++pos_;
+    for (;;) {
+      if (!at_end() && cur() == "::") {
+        qualifier = name;
+        prev_sep = "::";
+        ++pos_;
+        if (at_end()) return {};
+        name = cur();
+        ++pos_;
+        continue;
+      }
+      if (!at_end() && (cur() == "." || cur() == "->")) {
+        prev_sep = cur();
+        ++pos_;
+        if (at_end()) return {};
+        qualifier.clear();
+        name = cur();
+        ++pos_;
+        continue;
+      }
+      if (!at_end() && cur() == "[") {
+        ++pos_;
+        parse_expression(0);
+        skip_to_close("]");
+        continue;
+      }
+      if (!at_end() && cur() == "(") {
+        const std::vector<Value> args = parse_call_args();
+        Value v;
+        v.line = line;
+        v.name = name;
+        Kind bk;
+        if (!qualifier.empty() &&
+            builtin_static(qualifier + "::" + name) != Kind::kUnknown) {
+          v.kind = builtin_static(qualifier + "::" + name);
+        } else if (builtin_call(name, &bk)) {
+          v.kind = bk;
+        } else if (const auto it = fn_return_.find(name);
+                   it != fn_return_.end()) {
+          v.kind = it->second;
+        }
+        check_call_args(name, args, line);
+        // method chaining: .ns() etc on the result
+        if (!at_end() && (cur() == "." || cur() == "->")) continue;
+        return v;
+      }
+      break;
+    }
+
+    Value v;
+    v.line = line;
+    v.name = name;
+    v.kind = lookup(name);
+    return v;
+  }
+
+  /// After seeing a kind-carrying type name (or auto/const): this is either
+  /// a declaration (`Duration d = ...`, function signature), an explicit
+  /// construction (`Duration{...}`, `SimTime(...)`), or a qualified static
+  /// call (`Duration::ms(..)`).
+  Value parse_declaration_or_construction(int line) {
+    // Collect decl prefix keywords and the type name.
+    std::string type_name;
+    while (!at_end()) {
+      const std::string& t = cur();
+      if (t == "const" || t == "constexpr" || t == "static" || t == "inline" ||
+          t == "friend" || t == "mutable" || t == "volatile" ||
+          t == "unsigned" || t == "signed" || t == "auto") {
+        if (t == "auto" || t == "unsigned") type_name = t;
+        ++pos_;
+        continue;
+      }
+      if (t == "sg" && pos_ + 1 < end_ && tok(pos_ + 1).text == "::") {
+        pos_ += 2;
+        continue;
+      }
+      if (t == "std" && pos_ + 1 < end_ && tok(pos_ + 1).text == "::") {
+        pos_ += 2;
+        continue;
+      }
+      if (type_kind(t) != Kind::kUnknown || t == "void") {
+        type_name = t;  // void: signature parsing still registers params
+        ++pos_;
+        break;
+      }
+      break;
+    }
+    if (type_name.empty()) return {};
+    const Kind tkind = type_kind(type_name);
+
+    // `Duration::ms(5)` — qualified static factory, not a declaration.
+    if (!at_end() && cur() == "::") {
+      ++pos_;
+      if (at_end()) return {};
+      const std::string member = cur();
+      ++pos_;
+      const Kind k = builtin_static(type_name + "::" + member);
+      const std::vector<Value> args = parse_call_args();
+      check_call_args(member, args, line);
+      Value v;
+      v.line = line;
+      v.kind = k;
+      v.name = type_name + "::" + member;
+      return v;
+    }
+    // `Duration{expr}` / `Duration(expr)` — explicit construction.
+    if (!at_end() && cur() == "(") {
+      parse_call_args();
+      Value v;
+      v.line = line;
+      v.kind = tkind;
+      v.name = type_name;
+      return v;
+    }
+    // (brace construction `Duration{expr}` is cut by the fragmenter at '{';
+    //  the declaration below handles `Duration d{...}` without the init.)
+
+    // declarator: [*&]* name
+    while (!at_end() && (cur() == "*" || cur() == "&" || cur() == "const")) {
+      ++pos_;
+    }
+    if (at_end()) return {};
+    const std::string name = cur();
+    if (!(std::isalpha(static_cast<unsigned char>(name[0])) ||
+          name[0] == '_')) {
+      return Value{tkind, false, false, line, type_name};
+    }
+    ++pos_;
+
+    // function signature: `Kind name(params...)`
+    if (!at_end() && cur() == "(") {
+      parse_signature(name, tkind);
+      Value v;
+      v.line = line;
+      v.kind = Kind::kUnknown;
+      v.name = name;
+      return v;
+    }
+
+    // variable declaration
+    Value v;
+    v.line = line;
+    v.kind = tkind;
+    v.name = name;
+    if (!at_end() && cur() == "=") {
+      ++pos_;
+      const Value init = parse_expression(0);
+      if (type_name == "auto") {
+        v.kind = init.kind;  // dataflow: auto adopts the initializer's kind
+      } else {
+        check_init(type_name, tkind, init, line, name);
+      }
+    }
+    declare(name, v.kind);
+    // `SimTime a = 0, b = 0;` — continue through the comma chain.
+    while (!at_end() && cur() == ",") {
+      ++pos_;
+      while (!at_end() && (cur() == "*" || cur() == "&")) ++pos_;
+      if (at_end()) break;
+      const std::string extra = cur();
+      if (!(std::isalpha(static_cast<unsigned char>(extra[0])) ||
+            extra[0] == '_')) {
+        break;
+      }
+      ++pos_;
+      Kind ek = tkind;
+      if (!at_end() && cur() == "=") {
+        ++pos_;
+        const Value init = parse_expression(0);
+        if (type_name == "auto") ek = init.kind;
+        else check_init(type_name, tkind, init, line, extra);
+      }
+      declare(extra, ek);
+    }
+    return v;
+  }
+
+  /// Parses `(T1 p1, T2 p2, ...)` after a function name: records the return
+  /// kind, parameter kinds (for U2 argument checks), and stages parameter
+  /// names for the body scope.
+  void parse_signature(const std::string& name, Kind return_kind) {
+    std::vector<Kind> params;
+    std::vector<std::pair<std::string, Kind>> named;
+    ++pos_;  // '('
+    int depth = 1;
+    Kind cur_kind = Kind::kUnknown;
+    std::string last_ident;
+    while (!at_end() && depth > 0) {
+      const std::string& t = cur();
+      if (t == "(") ++depth;
+      else if (t == ")") {
+        if (--depth == 0) break;
+      } else if (t == "<") {
+        if (!skip_template_args(nullptr)) ++pos_;  // lone '<': comparison
+        continue;
+      } else if (t == "," && depth == 1) {
+        params.push_back(cur_kind);
+        if (!last_ident.empty()) named.push_back({last_ident, cur_kind});
+        cur_kind = Kind::kUnknown;
+        last_ident.clear();
+      } else if (type_kind(t) != Kind::kUnknown && cur_kind == Kind::kUnknown) {
+        cur_kind = type_kind(t);
+      } else if (!t.empty() &&
+                 (std::isalpha(static_cast<unsigned char>(t[0])) ||
+                  t[0] == '_') &&
+                 t != "const" && t != "sg" && t != "std") {
+        last_ident = t;
+      }
+      ++pos_;
+    }
+    if (!at_end()) ++pos_;  // ')'
+    if (cur_kind != Kind::kUnknown || !last_ident.empty()) {
+      params.push_back(cur_kind);
+      if (!last_ident.empty()) named.push_back({last_ident, cur_kind});
+    }
+    // Record return/param kinds; conflicting overloads disable the entry.
+    if (const auto it = fn_return_.find(name); it != fn_return_.end()) {
+      if (it->second != return_kind) it->second = Kind::kUnknown;
+    } else {
+      fn_return_[name] = return_kind;
+    }
+    if (const auto it = fn_params_.find(name); it != fn_params_.end()) {
+      if (it->second != params) {  // true overload: disable the U2 check
+        fn_params_.erase(it);
+        ambiguous_fns_.insert(name);
+      }
+    } else if (ambiguous_fns_.count(name) == 0) {
+      fn_params_[name] = params;
+    }
+    pending_params_ = std::move(named);
+  }
+
+  // ---- checks ------------------------------------------------------------
+
+  void add(int line, const char* rule, const std::string& msg) {
+    if (!seeding_) findings_.push_back({line, rule, msg});
+  }
+
+  /// U2: literal arguments against known time-typed parameters.
+  void check_call_args(const std::string& fn, const std::vector<Value>& args,
+                       int line) {
+    const auto it = fn_params_.find(fn);
+    if (it == fn_params_.end() || ambiguous_fns_.count(fn) != 0) return;
+    const std::vector<Kind>& params = it->second;
+    for (std::size_t i = 0; i < args.size() && i < params.size(); ++i) {
+      if (is_time_kind(params[i]) && args[i].lone_int_literal &&
+          !args[i].zero) {
+        add(line, "U2",
+            "raw integer literal '" + args[i].name +
+                "' passed as time-typed parameter of '" + fn +
+                "': use a unit literal (5_ms) or an explicit factory");
+      }
+    }
+  }
+
+  void check_init(const std::string& type_name, Kind tkind, const Value& init,
+                  int line, const std::string& var) {
+    // U3: time/energy quantity silently squeezed into a narrow type.
+    if (is_narrow_type(type_name) &&
+        (is_time_kind(init.kind) || init.kind == Kind::kEnergy)) {
+      add(line, "U3",
+          "implicit narrowing of " + std::string(kind_name(init.kind)) +
+              " into '" + type_name + " " + var +
+              "': unwrap explicitly (.ns(), static_cast)");
+      return;
+    }
+    // U1: TimePoint <- Duration or Duration <- TimePoint.
+    if ((tkind == Kind::kPoint && init.kind == Kind::kDur) ||
+        (tkind == Kind::kDur && init.kind == Kind::kPoint)) {
+      add(line, "U1",
+          "initializing " + std::string(kind_name(tkind)) + " '" + var +
+              "' from a " + kind_name(init.kind) +
+              ": timestamps and durations are distinct kinds");
+      return;
+    }
+    // U2: raw nonzero literal into a time-typed variable.
+    if (is_time_kind(tkind) && init.lone_int_literal && !init.zero) {
+      add(line, "U2",
+          "raw integer literal '" + init.name + "' initializes time-typed '" +
+              var + "': use a unit literal (5_ms) or a named constant");
+    }
+  }
+
+  void check_assign(const std::string& op, const Value& lhs, const Value& rhs,
+                    int line) {
+    if (op == "=") {
+      if ((lhs.kind == Kind::kPoint && rhs.kind == Kind::kDur) ||
+          (lhs.kind == Kind::kDur && rhs.kind == Kind::kPoint)) {
+        add(line, "U1",
+            "assigning a " + std::string(kind_name(rhs.kind)) + " to " +
+                kind_name(lhs.kind) + " '" + lhs.name +
+                "': timestamps and durations are distinct kinds");
+        return;
+      }
+      if (is_time_kind(lhs.kind) && rhs.lone_int_literal && !rhs.zero) {
+        add(line, "U2",
+            "raw integer literal '" + rhs.name +
+                "' assigned to time-typed '" + lhs.name +
+                "': use a unit literal (5_ms) or a named constant");
+      }
+      return;
+    }
+    if (op == "+=" || op == "-=") {
+      // point += duration is the only legal mixed compound op.
+      if (lhs.kind == Kind::kPoint && rhs.kind == Kind::kPoint) {
+        add(line, "U1",
+            "'" + op + "' between two TimePoints: adding timestamps is "
+            "meaningless (subtract them to get a Duration)");
+        return;
+      }
+      if (lhs.kind == Kind::kDur && rhs.kind == Kind::kPoint) {
+        add(line, "U1",
+            "'" + op + "' of a TimePoint into Duration '" + lhs.name +
+                "': durations accumulate durations");
+        return;
+      }
+      if (is_time_kind(lhs.kind) && rhs.lone_int_literal && !rhs.zero) {
+        add(line, "U2",
+            "raw integer literal '" + rhs.name + "' folded into time-typed '" +
+                lhs.name + "': use a unit literal or a named constant");
+      }
+      return;
+    }
+    if (op == "*=" || op == "/=") {
+      if (is_time_kind(lhs.kind) && is_time_kind(rhs.kind)) {
+        add(line, "U4",
+            "'" + op + "' between two time quantities: time x time is not a "
+            "tracked dimension");
+      }
+    }
+  }
+
+  Value combine(const std::string& op, const Value& a, const Value& b,
+                int line) {
+    Value out;
+    out.line = line;
+    const Kind ka = a.kind;
+    const Kind kb = b.kind;
+
+    if (op == "+" || op == "-") {
+      out.kind = combine_additive(op, a, b, line);
+      return out;
+    }
+    if (op == "*") {
+      out.kind = combine_multiply(a, b, line);
+      return out;
+    }
+    if (op == "/") {
+      out.kind = combine_divide(a, b, line);
+      return out;
+    }
+    if (op == "<" || op == ">" || op == "<=" || op == ">=" || op == "==" ||
+        op == "!=") {
+      // U1: ordering a timestamp against a duration.
+      if ((ka == Kind::kPoint && kb == Kind::kDur) ||
+          (ka == Kind::kDur && kb == Kind::kPoint)) {
+        add(line, "U1",
+            "comparing a TimePoint with a Duration: convert explicitly "
+            "(point - origin, or anchor the duration)");
+      } else if (is_time_kind(ka) && b.lone_int_literal && !b.zero) {
+        add(line, "U2",
+            "time-typed '" + a.name + "' compared with raw literal '" +
+                b.name + "': use a unit literal (5_ms) or a named constant");
+      } else if (is_time_kind(kb) && a.lone_int_literal && !a.zero) {
+        add(line, "U2",
+            "raw literal '" + a.name + "' compared with time-typed '" +
+                b.name + "': use a unit literal (5_ms) or a named constant");
+      }
+      out.kind = Kind::kScalar;
+      return out;
+    }
+    out.kind = Kind::kUnknown;
+    return out;
+  }
+
+  Kind combine_additive(const std::string& op, const Value& a, const Value& b,
+                        int line) {
+    const Kind ka = a.kind;
+    const Kind kb = b.kind;
+    if (ka == Kind::kUnknown || kb == Kind::kUnknown) return Kind::kUnknown;
+    // SimTime bridges: unknown point-vs-duration role, U1-exempt.
+    if (ka == Kind::kTime && is_time_kind(kb)) return Kind::kTime;
+    if (kb == Kind::kTime && is_time_kind(ka)) return Kind::kTime;
+    if (ka == Kind::kPoint && kb == Kind::kPoint) {
+      if (op == "-") return Kind::kDur;  // point - point -> duration
+      add(line, "U1",
+          "adding two TimePoints: timestamps don't add (subtract them to "
+          "get a Duration)");
+      return Kind::kUnknown;
+    }
+    if (ka == Kind::kPoint && kb == Kind::kDur) return Kind::kPoint;
+    if (ka == Kind::kDur && kb == Kind::kPoint) {
+      if (op == "+") return Kind::kPoint;  // dur + point -> point
+      add(line, "U1",
+          "subtracting a TimePoint from a Duration: reverse the operands "
+          "(point - point) or anchor the duration");
+      return Kind::kUnknown;
+    }
+    if (ka == Kind::kDur && kb == Kind::kDur) return Kind::kDur;
+    if (ka == kb) return ka;  // freq+freq, energy+energy, scalar+scalar
+    if ((ka == Kind::kScalar && is_dimensioned(kb)) ||
+        (kb == Kind::kScalar && is_dimensioned(ka))) {
+      // scalar + quantity: numeric literals against SimTime are pervasive
+      // and legal (it IS an integer); strong kinds don't get here because
+      // their operators reject it at compile time. Stay quiet, absorb.
+      return is_dimensioned(ka) ? ka : kb;
+    }
+    add(line, "U4",
+        std::string("'") + op + "' between " + kind_name(ka) + " and " +
+            kind_name(kb) + ": dimensions don't match");
+    return Kind::kUnknown;
+  }
+
+  static bool is_dimensioned(Kind k) {
+    return is_time_kind(k) || k == Kind::kFreq || k == Kind::kEnergy;
+  }
+
+  Kind combine_multiply(const Value& a, const Value& b, int line) {
+    const Kind ka = a.kind;
+    const Kind kb = b.kind;
+    if (ka == Kind::kUnknown || kb == Kind::kUnknown) return Kind::kUnknown;
+    if (ka == Kind::kScalar && kb == Kind::kScalar) return Kind::kScalar;
+    if (ka == Kind::kScalar) return kb;  // scalar scaling preserves kind
+    if (kb == Kind::kScalar) return ka;
+    // freq x time -> cycles (dimensionless), either order.
+    if ((ka == Kind::kFreq && is_time_kind(kb)) ||
+        (is_time_kind(ka) && kb == Kind::kFreq)) {
+      return Kind::kScalar;
+    }
+    add(line, "U4",
+        std::string("multiplying ") + kind_name(ka) + " by " + kind_name(kb) +
+            ": not in the allowed dimension table (freq x time is the only "
+            "legal quantity product)");
+    return Kind::kUnknown;
+  }
+
+  Kind combine_divide(const Value& a, const Value& b, int line) {
+    const Kind ka = a.kind;
+    const Kind kb = b.kind;
+    if (ka == Kind::kUnknown || kb == Kind::kUnknown) return Kind::kUnknown;
+    if (kb == Kind::kScalar) return ka;  // quantity / scalar
+    if (is_time_kind(ka) && is_time_kind(kb)) return Kind::kScalar;  // ratio
+    if (ka == Kind::kEnergy && is_time_kind(kb)) return Kind::kScalar;  // W
+    if (ka == Kind::kEnergy && kb == Kind::kEnergy) return Kind::kScalar;
+    if (ka == Kind::kFreq && kb == Kind::kFreq) return Kind::kScalar;
+    add(line, "U4",
+        std::string("dividing ") + kind_name(ka) + " by " + kind_name(kb) +
+            ": not in the allowed dimension table (time/time, energy/time, "
+            "energy/energy, freq/freq)");
+    return Kind::kUnknown;
+  }
+
+  // ---- state -------------------------------------------------------------
+
+  const std::vector<Token>* toks_ = nullptr;
+  std::size_t pos_ = 0;
+  std::size_t end_ = 0;
+  bool seeding_ = false;
+  std::vector<Scope> scopes_;
+  std::map<std::string, Kind> fn_return_;
+  std::map<std::string, std::vector<Kind>> fn_params_;
+  std::set<std::string> ambiguous_fns_;
+  std::vector<std::pair<std::string, Kind>> pending_params_;
+  std::vector<UnitFinding> findings_;
+};
+
+}  // namespace sglint
